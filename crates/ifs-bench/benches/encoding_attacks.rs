@@ -1,0 +1,61 @@
+//! Criterion: cost of the encoding attacks (E3/E5/E6 time dimension) —
+//! Theorem 13 decode, Fact 18 construction, Theorem 15 column recovery.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ifs_core::ReleaseDb;
+use ifs_lowerbounds::shatter::ShatteredSet;
+use ifs_lowerbounds::thm13::HardInstance;
+use ifs_lowerbounds::thm15::Thm15Instance;
+use ifs_util::Rng64;
+use std::hint::black_box;
+
+fn bench_thm13(c: &mut Criterion) {
+    let mut rng = Rng64::seeded(0xD1);
+    let (d, k, inv_eps) = (32usize, 2usize, 16usize);
+    let payload: Vec<bool> =
+        (0..HardInstance::capacity(d, inv_eps)).map(|_| rng.bernoulli(0.5)).collect();
+    let inst = HardInstance::encode(d, k, inv_eps, &payload, 4);
+    let sketch = ReleaseDb::build(inst.database(), inst.epsilon());
+    let mut g = c.benchmark_group("thm13");
+    g.bench_function("encode_256_bits", |b| {
+        b.iter(|| black_box(HardInstance::encode(d, k, inv_eps, &payload, 4)));
+    });
+    g.bench_function("decode_256_bits", |b| {
+        b.iter(|| black_box(inst.decode(&sketch)));
+    });
+    g.finish();
+}
+
+fn bench_shatter(c: &mut Criterion) {
+    let mut g = c.benchmark_group("shatter");
+    g.bench_function("construct_d64_k2", |b| {
+        b.iter(|| black_box(ShatteredSet::new(64, 2)));
+    });
+    let sh = ShatteredSet::new(64, 2);
+    let s = vec![true; sh.v()];
+    g.bench_function("itemset_for_pattern", |b| {
+        b.iter(|| black_box(sh.itemset_for(&s)));
+    });
+    g.finish();
+}
+
+fn bench_thm15(c: &mut Criterion) {
+    let mut rng = Rng64::seeded(0xD2);
+    let (d, k) = (32usize, 3usize);
+    let cap = Thm15Instance::message_capacity(d, k).unwrap();
+    let msg: Vec<bool> = (0..cap).map(|_| rng.bernoulli(0.5)).collect();
+    let inst = Thm15Instance::encode(d, k, &msg);
+    let sketch = ReleaseDb::build(inst.database(), 1.0 / 50.0);
+    let mut g = c.benchmark_group("thm15");
+    g.sample_size(10);
+    g.bench_function("encode_d32_k3", |b| {
+        b.iter(|| black_box(Thm15Instance::encode(d, k, &msg)));
+    });
+    g.bench_function("recover_one_column", |b| {
+        b.iter(|| black_box(inst.recover_column(&sketch, 0, 1.0 / 50.0, &mut rng)));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_thm13, bench_shatter, bench_thm15);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Criterion: the Theorem 16 machinery — L1 LP decode vs L2 least squares,
+//! Jacobi SVD, and the error-correcting code (E8's time dimension).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ifs_codes::ConcatenatedCode;
+use ifs_linalg::svd;
+use ifs_lowerbounds::thm16::RowProductInstance;
+use ifs_util::Rng64;
+use std::hint::black_box;
+
+fn bench_decoders(c: &mut Criterion) {
+    let mut rng = Rng64::seeded(0xF1);
+    let mut g = c.benchmark_group("secret_decoding");
+    g.sample_size(10);
+    for n in [16usize, 32] {
+        let secret: Vec<bool> = (0..n).map(|_| rng.bernoulli(0.5)).collect();
+        let inst = RowProductInstance::new(8, 2, &secret, &mut rng);
+        let answers = inst.exact_answers();
+        g.bench_with_input(BenchmarkId::new("l1_simplex", n), &n, |b, _| {
+            b.iter(|| black_box(inst.recover_l1(&answers)));
+        });
+        g.bench_with_input(BenchmarkId::new("l2_least_squares", n), &n, |b, _| {
+            b.iter(|| black_box(inst.recover_l2(&answers)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_svd(c: &mut Criterion) {
+    let mut rng = Rng64::seeded(0xF2);
+    let mut g = c.benchmark_group("jacobi_svd");
+    g.sample_size(10);
+    for d0 in [6usize, 10] {
+        let secret: Vec<bool> = (0..(d0 * d0 / 2)).map(|_| rng.bernoulli(0.5)).collect();
+        let inst = RowProductInstance::new(d0, 2, &secret, &mut rng);
+        g.bench_with_input(BenchmarkId::from_parameter(d0 * d0), &d0, |b, _| {
+            b.iter(|| black_box(svd::decompose(inst.matrix())));
+        });
+    }
+    g.finish();
+}
+
+fn bench_ecc(c: &mut Criterion) {
+    let mut rng = Rng64::seeded(0xF3);
+    let code = ConcatenatedCode::for_codeword_bits(4096, 0.04).unwrap();
+    let msg: Vec<bool> = (0..code.message_bits()).map(|_| rng.bernoulli(0.5)).collect();
+    let cw = code.encode(&msg);
+    let mut corrupted = cw.clone();
+    for &p in &rng.distinct_sorted(cw.len(), 160) {
+        corrupted[p] = !corrupted[p];
+    }
+    let mut g = c.benchmark_group("concatenated_code_4096");
+    g.bench_function("encode", |b| b.iter(|| black_box(code.encode(&msg))));
+    g.bench_function("decode_clean", |b| b.iter(|| black_box(code.decode(&cw))));
+    g.bench_function("decode_4pct_errors", |b| b.iter(|| black_box(code.decode(&corrupted))));
+    g.finish();
+}
+
+criterion_group!(benches, bench_decoders, bench_svd, bench_ecc);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Criterion: the three miners head-to-head, and mining from a sketch vs
+//! the full database (E12's time dimension).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ifs_core::{Guarantee, SketchParams, Subsample};
+use ifs_database::generators;
+use ifs_mining::{apriori, eclat, fpgrowth, oracle};
+use ifs_util::Rng64;
+use std::hint::black_box;
+
+fn bench_miners(c: &mut Criterion) {
+    let mut rng = Rng64::seeded(0xAB);
+    let spec = generators::MarketBasketSpec {
+        transactions: 4_000,
+        items: 32,
+        bundles: vec![(vec![28, 29, 30], 0.2)],
+        ..Default::default()
+    };
+    let db = generators::market_basket(&spec, &mut rng);
+    let mut g = c.benchmark_group("miners_theta_008");
+    g.sample_size(10);
+    g.bench_function("apriori", |b| b.iter(|| black_box(apriori::mine(&db, 0.08, 4))));
+    g.bench_function("eclat", |b| b.iter(|| black_box(eclat::mine(&db, 0.08, 4))));
+    g.bench_function("fpgrowth", |b| b.iter(|| black_box(fpgrowth::mine(&db, 0.08, 4))));
+    g.finish();
+}
+
+fn bench_mining_on_sketch(c: &mut Criterion) {
+    let mut rng = Rng64::seeded(0xAC);
+    let spec = generators::MarketBasketSpec {
+        transactions: 20_000,
+        items: 32,
+        bundles: vec![(vec![28, 29, 30], 0.2)],
+        ..Default::default()
+    };
+    let db = generators::market_basket(&spec, &mut rng);
+    let params = SketchParams::new(3, 0.02, 0.05);
+    let sketch = Subsample::build(&db, &params, Guarantee::ForAllEstimator, &mut rng);
+    let mut g = c.benchmark_group("mining_source");
+    g.sample_size(10);
+    g.bench_function("full_database", |b| {
+        b.iter(|| black_box(apriori::mine(&db, 0.1, 3)));
+    });
+    g.bench_function("sketch_oracle", |b| {
+        b.iter(|| black_box(oracle::mine_with_estimator(&sketch, db.dims(), 0.08, 3)));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_miners, bench_mining_on_sketch);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Criterion: build/query costs of the three naive sketches (E1's time
+//! dimension), plus the bit-packing ablation from DESIGN.md §5.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ifs_core::{
+    FrequencyEstimator, Guarantee, ReleaseAnswersEstimator, ReleaseDb, SketchParams, Subsample,
+};
+use ifs_database::{generators, Itemset};
+use ifs_util::Rng64;
+use std::hint::black_box;
+
+fn bench_builds(c: &mut Criterion) {
+    let mut rng = Rng64::seeded(0xB1);
+    let db = generators::uniform(10_000, 24, 0.3, &mut rng);
+    let params = SketchParams::new(3, 0.05, 0.05);
+    let mut g = c.benchmark_group("sketch_build");
+    g.sample_size(10);
+    g.bench_function("release_db", |b| {
+        b.iter(|| black_box(ReleaseDb::build(&db, 0.05)));
+    });
+    g.bench_function("release_answers_k3", |b| {
+        b.iter(|| black_box(ReleaseAnswersEstimator::build(&db, 3, 0.05)));
+    });
+    g.bench_function("subsample_forall_estimator", |b| {
+        b.iter(|| black_box(Subsample::build(&db, &params, Guarantee::ForAllEstimator, &mut rng)));
+    });
+    g.finish();
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let mut rng = Rng64::seeded(0xB2);
+    let db = generators::uniform(10_000, 24, 0.3, &mut rng);
+    let params = SketchParams::new(3, 0.05, 0.05);
+    let release = ReleaseDb::build(&db, 0.05);
+    let answers = ReleaseAnswersEstimator::build(&db, 3, 0.05);
+    let sample = Subsample::build(&db, &params, Guarantee::ForAllEstimator, &mut rng);
+    let t = Itemset::new(vec![2, 9, 17]);
+    let mut g = c.benchmark_group("sketch_query");
+    g.bench_function("release_db_estimate", |b| b.iter(|| black_box(release.estimate(&t))));
+    g.bench_function("release_answers_estimate", |b| b.iter(|| black_box(answers.estimate(&t))));
+    g.bench_function("subsample_estimate", |b| b.iter(|| black_box(sample.estimate(&t))));
+    g.finish();
+}
+
+/// Ablation: packed word-wise subset test vs a per-column probe loop.
+fn bench_bitpack_ablation(c: &mut Criterion) {
+    let mut rng = Rng64::seeded(0xB3);
+    let db = generators::uniform(20_000, 96, 0.4, &mut rng);
+    let t = Itemset::new(vec![5, 40, 90]);
+    let mask = db.mask_of(&t);
+    let mut g = c.benchmark_group("frequency_counting");
+    g.bench_function("packed_words", |b| {
+        b.iter(|| black_box(db.support_mask(&mask)));
+    });
+    g.bench_function("per_column_probe", |b| {
+        b.iter(|| {
+            let items = t.items();
+            let count = (0..db.rows())
+                .filter(|&r| items.iter().all(|&c| db.get(r, c as usize)))
+                .count();
+            black_box(count)
+        });
+    });
+    g.finish();
+}
+
+fn bench_scaling_in_d(c: &mut Criterion) {
+    let mut g = c.benchmark_group("support_scaling_d");
+    g.sample_size(10);
+    for d in [64usize, 256, 512] {
+        let mut rng = Rng64::seeded(0xB4);
+        let db = generators::uniform(5_000, d, 0.3, &mut rng);
+        let t = Itemset::new(vec![1, (d / 2) as u32, (d - 1) as u32]);
+        let mask = db.mask_of(&t);
+        g.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, _| {
+            b.iter(|| black_box(db.support_mask(&mask)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_builds, bench_queries, bench_bitpack_ablation, bench_scaling_in_d);
+criterion_main!(benches);

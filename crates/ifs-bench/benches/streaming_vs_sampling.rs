@@ -1,0 +1,55 @@
+//! Criterion: per-row update cost of the heavy-hitter structures fed with
+//! itemset streams vs plain row sampling (E11's time dimension), including
+//! the conservative-update Count-Min ablation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ifs_core::Subsample;
+use ifs_database::generators;
+use ifs_streaming::{adapter, CountMinSketch, LossyCounting, MisraGries, SpaceSaving};
+use ifs_util::Rng64;
+use std::hint::black_box;
+
+fn bench_feeds(c: &mut Criterion) {
+    let mut rng = Rng64::seeded(0xAA);
+    let db = generators::uniform(2_000, 24, 0.2, &mut rng);
+    let id_bits = adapter::itemset_id_bits(24, 2);
+    let mut g = c.benchmark_group("itemset_stream_feed");
+    g.sample_size(10);
+    g.bench_function("misra_gries_256", |b| {
+        b.iter(|| {
+            let mut mg = MisraGries::new(256, id_bits);
+            black_box(adapter::feed_rows(&db, 2, &mut mg, usize::MAX))
+        });
+    });
+    g.bench_function("space_saving_256", |b| {
+        b.iter(|| {
+            let mut ss = SpaceSaving::new(256, id_bits);
+            black_box(adapter::feed_rows(&db, 2, &mut ss, usize::MAX))
+        });
+    });
+    g.bench_function("lossy_counting_eps01", |b| {
+        b.iter(|| {
+            let mut lc = LossyCounting::new(0.01, id_bits);
+            black_box(adapter::feed_rows(&db, 2, &mut lc, usize::MAX))
+        });
+    });
+    g.bench_function("count_min_plain", |b| {
+        b.iter(|| {
+            let mut cm = CountMinSketch::new(512, 4, false, 7);
+            black_box(adapter::feed_rows(&db, 2, &mut cm, usize::MAX))
+        });
+    });
+    g.bench_function("count_min_conservative", |b| {
+        b.iter(|| {
+            let mut cm = CountMinSketch::new(512, 4, true, 7);
+            black_box(adapter::feed_rows(&db, 2, &mut cm, usize::MAX))
+        });
+    });
+    g.bench_function("row_sampling_baseline", |b| {
+        b.iter(|| black_box(Subsample::with_sample_count(&db, 500, 0.05, &mut rng)));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_feeds);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion: SUBSAMPLE build time across the Lemma 9 sample-count ladder
+//! (E2's time dimension).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ifs_core::{Guarantee, SketchParams, Subsample};
+use ifs_database::generators;
+use ifs_util::Rng64;
+use std::hint::black_box;
+
+fn bench_sample_ladder(c: &mut Criterion) {
+    let mut rng = Rng64::seeded(0xC1);
+    let db = generators::uniform(100_000, 32, 0.2, &mut rng);
+    let mut g = c.benchmark_group("subsample_build_rows");
+    g.sample_size(10);
+    for s in [1_000usize, 4_000, 16_000] {
+        g.throughput(Throughput::Elements(s as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(s), &s, |b, &s| {
+            b.iter(|| black_box(Subsample::with_sample_count(&db, s, 0.05, &mut rng)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_guarantee_costs(c: &mut Criterion) {
+    let mut rng = Rng64::seeded(0xC2);
+    let db = generators::uniform(50_000, 24, 0.2, &mut rng);
+    let params = SketchParams::new(3, 0.05, 0.05);
+    let mut g = c.benchmark_group("subsample_by_guarantee");
+    g.sample_size(10);
+    for guarantee in Guarantee::ALL {
+        g.bench_function(guarantee.name(), |b| {
+            b.iter(|| black_box(Subsample::build(&db, &params, guarantee, &mut rng)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_sample_ladder, bench_guarantee_costs);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Regenerates the experiment tables of EXPERIMENTS.md.
+//!
+//! Usage:
+//!   cargo run -p ifs-bench --bin tables --release            # all experiments
+//!   cargo run -p ifs-bench --bin tables --release -- e6 e8   # a subset
+//!
+//! Each table is printed to stdout and written as CSV under bench_results/.
+
+use std::fs;
+use std::path::Path;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let ids: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
+        ifs_bench::ALL_EXPERIMENTS.to_vec()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    let out_dir = Path::new("bench_results");
+    fs::create_dir_all(out_dir).expect("create bench_results/");
+    let started = Instant::now();
+    for id in &ids {
+        let t0 = Instant::now();
+        let tables = ifs_bench::run(id);
+        for (idx, table) in tables.iter().enumerate() {
+            println!("{}", table.render());
+            let file = out_dir.join(format!("{id}_{idx}.csv"));
+            fs::write(&file, table.to_csv()).expect("write csv");
+            println!("  -> {}\n", file.display());
+        }
+        eprintln!("[{id}] done in {:.1}s", t0.elapsed().as_secs_f64());
+    }
+    eprintln!("all requested experiments done in {:.1}s", started.elapsed().as_secs_f64());
+}

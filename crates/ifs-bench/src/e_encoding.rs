@@ -1,0 +1,237 @@
+//! Experiments E3–E7: the indicator-sketch encoding arguments.
+
+use ifs_core::{ReleaseDb, Sketch, Subsample};
+use ifs_lowerbounds::amplify::AmplifiedInstance;
+use ifs_lowerbounds::index_game;
+use ifs_lowerbounds::shatter::ShatteredSet;
+use ifs_lowerbounds::thm13::HardInstance;
+use ifs_lowerbounds::thm15::Thm15Instance;
+use ifs_util::table::{f, i, Table};
+use ifs_util::{stats, Rng64};
+
+fn random_bits(len: usize, rng: &mut Rng64) -> Vec<bool> {
+    (0..len).map(|_| rng.bernoulli(0.5)).collect()
+}
+
+/// E3 — Theorem 13: payload recovery rate through budgeted sketches. The
+/// transition should sit near the payload size `d/(2ε)` bits.
+pub fn e3_thm13_attack() -> Vec<Table> {
+    let mut rng = Rng64::seeded(0xE3);
+    let mut t = Table::new(
+        "E3: Theorem 13 attack — recovery vs sketch budget (payload = d/(2eps) bits)",
+        &["d", "k", "inv_eps", "payload_bits", "sample_rows", "sketch_bits", "recovery_rate"],
+    );
+    for &(d, k, inv_eps) in &[(32usize, 2usize, 16usize), (32, 3, 16), (64, 2, 32)] {
+        let payload = random_bits(HardInstance::capacity(d, inv_eps), &mut rng);
+        let inst = HardInstance::encode(d, k, inv_eps, &payload, 4);
+        // Exact sketch first, then a budget ladder.
+        let exact = ReleaseDb::build(inst.database(), inst.epsilon());
+        let full_rate = inst.recovery_rate(&inst.decode(&exact));
+        t.row(vec![
+            i(d as u64),
+            i(k as u64),
+            i(inv_eps as u64),
+            i(payload.len() as u64),
+            "exact".into(),
+            i(exact.size_bits()),
+            f(full_rate),
+        ]);
+        for rows in [inv_eps * 4, inv_eps * 2, inv_eps, inv_eps / 2, inv_eps / 4, 1] {
+            let mut rates = Vec::new();
+            let mut bits = 0;
+            for _ in 0..5 {
+                let sk = Subsample::with_sample_count(
+                    inst.database(),
+                    rows.max(1),
+                    inst.epsilon(),
+                    &mut rng,
+                );
+                bits = sk.size_bits();
+                rates.push(inst.recovery_rate(&inst.decode(&sk)));
+            }
+            t.row(vec![
+                i(d as u64),
+                i(k as u64),
+                i(inv_eps as u64),
+                i(payload.len() as u64),
+                i(rows.max(1) as u64),
+                i(bits),
+                f(stats::mean(&rates)),
+            ]);
+        }
+    }
+    vec![t]
+}
+
+/// E4 — Theorem 14: INDEX protocol success probability vs message size.
+pub fn e4_index_game() -> Vec<Table> {
+    let mut rng = Rng64::seeded(0xE4);
+    let mut t = Table::new(
+        "E4: INDEX game via For-Each-Indicator sketches (threshold 2/3)",
+        &["d", "inv_eps", "N_bits", "strategy", "message_bits", "success_rate"],
+    );
+    for &(d, inv_eps) in &[(16usize, 8usize), (32, 16)] {
+        let rounds = 150;
+        // Exact sketch — perfect protocol.
+        let r = index_game::play(d, 2, inv_eps, rounds, &mut rng, |db, _| {
+            ReleaseDb::build(db, 1.0 / inv_eps as f64)
+        });
+        t.row(vec![
+            i(d as u64),
+            i(inv_eps as u64),
+            i(r.n_bits as u64),
+            "release-db".into(),
+            i(r.message_bits),
+            f(r.success_rate()),
+        ]);
+        // Budget ladder of subsamples.
+        for rows in [2 * inv_eps, inv_eps, inv_eps / 2, 1] {
+            let r = index_game::play(d, 2, inv_eps, rounds, &mut rng, |db, rg| {
+                Subsample::with_sample_count(db, rows.max(1), 1.0 / inv_eps as f64, rg)
+            });
+            t.row(vec![
+                i(d as u64),
+                i(inv_eps as u64),
+                i(r.n_bits as u64),
+                format!("subsample-{}", rows.max(1)),
+                i(r.message_bits),
+                f(r.success_rate()),
+            ]);
+        }
+    }
+    vec![t]
+}
+
+/// E5 — Fact 18: exhaustive shattering verification across (d, k′).
+pub fn e5_shattering() -> Vec<Table> {
+    let mut t = Table::new(
+        "E5: Fact 18 shattered sets — all 2^v patterns realized by k'-itemsets",
+        &["d", "k_prime", "v", "patterns_checked", "all_realized"],
+    );
+    for &(d, kp) in &[
+        (8usize, 1usize),
+        (16, 1),
+        (8, 2),
+        (16, 2),
+        (32, 2),
+        (12, 3),
+        (24, 3),
+        (16, 4),
+        (64, 2),
+    ] {
+        let sh = ShatteredSet::new(d, kp);
+        let v = sh.v();
+        let mut all_ok = true;
+        let total = 1u64 << v;
+        for mask in 0..total {
+            let s: Vec<bool> = (0..v).map(|b| (mask >> b) & 1 == 1).collect();
+            if sh.pattern_of(&sh.itemset_for(&s)) != s {
+                all_ok = false;
+                break;
+            }
+        }
+        t.row(vec![
+            i(d as u64),
+            i(kp as u64),
+            i(v as u64),
+            i(total),
+            (if all_ok { "yes" } else { "NO" }).into(),
+        ]);
+    }
+    vec![t]
+}
+
+/// E6 — Theorem 15 core: hidden-message survival vs sketch budget across
+/// (d, k); capacity column shows the Ω(k·d·log(d/k)) growth.
+pub fn e6_thm15_core() -> Vec<Table> {
+    let mut rng = Rng64::seeded(0xE6);
+    let eps = 1.0 / 50.0;
+    let mut cap = Table::new(
+        "E6a: Theorem 15 payload capacity vs k*d*log(d/k)",
+        &["d", "k", "v", "codeword_bits_dv", "message_bits", "kd_log_dk"],
+    );
+    let mut atk = Table::new(
+        "E6b: Theorem 15 attack — message survival vs sketch budget",
+        &["d", "k", "sample_rows", "sketch_bits", "codeword_acc", "message_ok"],
+    );
+    for &(d, k) in &[(32usize, 2usize), (32, 3), (64, 3), (64, 5), (128, 3)] {
+        let capacity = Thm15Instance::message_capacity(d, k).expect("feasible");
+        let msg = random_bits(capacity, &mut rng);
+        let inst = Thm15Instance::encode(d, k, &msg);
+        let kd = k as f64 * d as f64 * (d as f64 / k as f64).log2();
+        cap.row(vec![
+            i(d as u64),
+            i(k as u64),
+            i(inst.v() as u64),
+            i((d * inst.v()) as u64),
+            i(capacity as u64),
+            f(kd),
+        ]);
+        // Exact sketch.
+        let exact = ReleaseDb::build(inst.database(), eps);
+        let (acc, decoded) = inst.attack(&exact, eps, &mut rng);
+        atk.row(vec![
+            i(d as u64),
+            i(k as u64),
+            "exact".into(),
+            i(exact.size_bits()),
+            f(acc),
+            (if decoded.as_deref() == Some(&msg[..]) { "yes" } else { "lost" }).into(),
+        ]);
+        // Budget ladder (only for the smaller instances to keep runtime sane).
+        if d <= 64 {
+            for rows in [inst.v() * 4, inst.v(), inst.v() / 2, 2] {
+                let sk = Subsample::with_sample_count(inst.database(), rows, eps, &mut rng);
+                let (acc, decoded) = inst.attack(&sk, eps, &mut rng);
+                atk.row(vec![
+                    i(d as u64),
+                    i(k as u64),
+                    i(rows as u64),
+                    i(sk.size_bits()),
+                    f(acc),
+                    (if decoded.as_deref() == Some(&msg[..]) { "yes" } else { "lost" }).into(),
+                ]);
+            }
+        }
+    }
+    vec![cap, atk]
+}
+
+/// E7 — Theorem 15 amplification: total hidden bits vs 1/ε (log-log slope
+/// should be ≈ 1).
+pub fn e7_amplification() -> Vec<Table> {
+    let mut rng = Rng64::seeded(0xE7);
+    let (d, k) = (32usize, 3usize);
+    let cap = AmplifiedInstance::capacity_per_instance(d, k).expect("feasible");
+    let mut t = Table::new(
+        "E7: amplification — payload scales as 1/eps (d=32, k=3)",
+        &["m", "eps", "total_payload_bits", "all_recovered", "mean_cw_acc"],
+    );
+    let mut inv_eps_series = Vec::new();
+    let mut bits_series = Vec::new();
+    for m in [1usize, 2, 4, 8] {
+        let msgs: Vec<Vec<bool>> = (0..m).map(|_| random_bits(cap, &mut rng)).collect();
+        let amp = AmplifiedInstance::encode(d, k, &msgs);
+        let sketch = ReleaseDb::build(amp.database(), amp.epsilon());
+        let results = amp.attack_all(&sketch, &mut rng);
+        let all_ok = results
+            .iter()
+            .zip(&msgs)
+            .all(|((_, dec), msg)| dec.as_deref() == Some(&msg[..]));
+        let mean_acc =
+            stats::mean(&results.iter().map(|(a, _)| *a).collect::<Vec<_>>());
+        t.row(vec![
+            i(m as u64),
+            f(amp.epsilon()),
+            i(amp.total_message_bits() as u64),
+            (if all_ok { "yes" } else { "NO" }).into(),
+            f(mean_acc),
+        ]);
+        inv_eps_series.push(1.0 / amp.epsilon());
+        bits_series.push(amp.total_message_bits() as f64);
+    }
+    let slope = stats::loglog_slope(&inv_eps_series, &bits_series);
+    let mut s = Table::new("E7 summary: log-log slope of payload vs 1/eps", &["slope", "expected"]);
+    s.row(vec![f(slope), "1.0".into()]);
+    vec![t, s]
+}

@@ -1,0 +1,94 @@
+//! Experiment E8: the Theorem 16 estimator machinery (Lemmas 20–27).
+
+use ifs_lowerbounds::thm16::{perturb_answers, RowProductInstance};
+use ifs_util::table::{f, i, Table};
+use ifs_util::{stats, Rng64};
+
+fn random_bits(len: usize, rng: &mut Rng64) -> Vec<bool> {
+    (0..len).map(|_| rng.bernoulli(0.5)).collect()
+}
+
+/// E8 — four series:
+/// (i) Rudelson's σ_min(A)/√L across sizes (Lemma 26),
+/// (ii) Euclidean-section δ of range(A) (Definition 23),
+/// (iii) L1-decoding success vs noise ε and columns n (the 1/ε² barrier),
+/// (iv) L1 vs L2 under average-error noise with gross outliers (§4.1.1).
+pub fn e8_lp_decoding() -> Vec<Table> {
+    let mut rng = Rng64::seeded(0xE8);
+
+    // (i) + (ii): spectral and section measurements on the ensemble.
+    let mut spec = Table::new(
+        "E8a: row-product spectra (Lemma 26) and Euclidean sections (Def 23)",
+        &["d0", "k_minus_1", "L_rows", "n_cols", "sigma_min", "sigma_min_over_sqrtL", "delta_section"],
+    );
+    for &(d0, km1) in &[(4usize, 2usize), (6, 2), (8, 2), (10, 2), (12, 2), (4, 3)] {
+        let l = d0.pow(km1 as u32);
+        let n = (3 * l) / 4; // the n ≲ L regime of the lemma
+        let mut sig_norm = Vec::new();
+        let mut deltas = Vec::new();
+        let mut sigma_last = 0.0;
+        for _ in 0..3 {
+            let inst = RowProductInstance::new(d0, km1, &random_bits(n, &mut rng), &mut rng);
+            sigma_last = inst.sigma_min();
+            sig_norm.push(sigma_last / (l as f64).sqrt());
+            deltas.push(inst.section_delta(40, &mut rng));
+        }
+        spec.row(vec![
+            i(d0 as u64),
+            i(km1 as u64),
+            i(l as u64),
+            i(n as u64),
+            f(sigma_last),
+            f(stats::mean(&sig_norm)),
+            f(stats::mean(&deltas)),
+        ]);
+    }
+
+    // (iii): decoding success vs (n, eps): works while eps ≲ c/√n.
+    let mut barrier = Table::new(
+        "E8b: L1 decoding accuracy vs noise eps and secret length n (d0=8, k=3)",
+        &["n", "eps", "eps_times_sqrt_n", "l1_accuracy"],
+    );
+    for &n in &[16usize, 32, 48] {
+        for &scale in &[0.25f64, 0.5, 1.0, 2.0, 4.0] {
+            let eps = scale / (n as f64).sqrt() / 4.0;
+            let mut accs = Vec::new();
+            for _ in 0..3 {
+                let secret = random_bits(n, &mut rng);
+                let inst = RowProductInstance::new(8, 2, &secret, &mut rng);
+                let noisy = perturb_answers(&inst.exact_answers(), eps, 0.0, &mut rng);
+                let acc = inst
+                    .recover_l1(&noisy)
+                    .map(|dec| inst.accuracy(&dec))
+                    .unwrap_or(0.0);
+                accs.push(acc);
+            }
+            barrier.row(vec![
+                i(n as u64),
+                f(eps),
+                f(eps * (n as f64).sqrt()),
+                f(stats::mean(&accs)),
+            ]);
+        }
+    }
+
+    // (iv): L1 vs L2 under gross outliers — the ablation of §4.1.1.
+    let mut ablation = Table::new(
+        "E8c: L1 (De) vs L2 (KRSU) decoding under average-error noise (n=24, d0=8, k=3)",
+        &["gross_fraction", "l1_accuracy", "l2_accuracy"],
+    );
+    for &gross in &[0.0f64, 0.05, 0.10, 0.20, 0.30] {
+        let mut l1a = Vec::new();
+        let mut l2a = Vec::new();
+        for _ in 0..4 {
+            let secret = random_bits(24, &mut rng);
+            let inst = RowProductInstance::new(8, 2, &secret, &mut rng);
+            let noisy = perturb_answers(&inst.exact_answers(), 0.01, gross, &mut rng);
+            l1a.push(inst.recover_l1(&noisy).map(|d| inst.accuracy(&d)).unwrap_or(0.0));
+            l2a.push(inst.accuracy(&inst.recover_l2(&noisy)));
+        }
+        ablation.row(vec![f(gross), f(stats::mean(&l1a)), f(stats::mean(&l2a))]);
+    }
+
+    vec![spec, barrier, ablation]
+}

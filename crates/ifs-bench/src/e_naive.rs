@@ -1,0 +1,169 @@
+//! Experiments E1, E2, E9, E10: the upper-bound side of the paper.
+
+use ifs_core::{bounds, Guarantee, SketchParams, Subsample};
+use ifs_core::{
+    boosting::MedianBoost, FrequencyEstimator, ReleaseAnswersEstimator, ReleaseAnswersIndicator,
+    ReleaseDb, Sketch,
+};
+use ifs_database::{generators, Itemset};
+use ifs_util::table::{f, i, Table};
+use ifs_util::{combin, stats, Rng64};
+
+/// E1 — Theorem 12: realized sketch sizes of the three naive algorithms
+/// against the closed-form bounds, across a parameter grid.
+pub fn e1_naive_sizes() -> Vec<Table> {
+    let mut rng = Rng64::seeded(0xE1);
+    let mut t = Table::new(
+        "E1: naive sketch sizes (bits) vs Theorem 12 formulas",
+        &[
+            "n", "d", "k", "eps", "guarantee", "release_db", "release_ans", "subsample",
+            "formula_min", "winner",
+        ],
+    );
+    for &(n, d, k, eps) in &[
+        (2_000usize, 16usize, 2usize, 0.05f64),
+        (2_000, 16, 2, 0.01),
+        (20_000, 16, 2, 0.05),
+        (20_000, 24, 3, 0.05),
+        (20_000, 24, 3, 0.02),
+        (50_000, 32, 2, 0.1),
+    ] {
+        let db = generators::uniform(n, d, 0.3, &mut rng);
+        let params = SketchParams::new(k, eps, 0.1);
+        for guarantee in [Guarantee::ForAllIndicator, Guarantee::ForAllEstimator] {
+            let rdb = ReleaseDb::build(&db, eps);
+            let sub = Subsample::build(&db, &params, guarantee, &mut rng);
+            let ans_bits = if guarantee.is_estimator() {
+                ReleaseAnswersEstimator::build(&db, k, eps).size_bits()
+            } else {
+                ReleaseAnswersIndicator::build(&db, k, eps).size_bits()
+            };
+            let regime =
+                bounds::Regime { n: n as u64, d: d as u64, k: k as u64, epsilon: eps, delta: 0.1 };
+            t.row(vec![
+                i(n as u64),
+                i(d as u64),
+                i(k as u64),
+                f(eps),
+                guarantee.name().into(),
+                i(rdb.size_bits()),
+                i(ans_bits),
+                i(sub.size_bits()),
+                f(bounds::naive_upper_bound_bits(&regime, guarantee)),
+                bounds::naive_winner(&regime, guarantee).into(),
+            ]);
+        }
+    }
+    vec![t]
+}
+
+/// E2 — Lemma 9 / Lemmas 10–11: empirical failure rate of SUBSAMPLE vs the
+/// Chernoff predictions, as the sample count grows.
+pub fn e2_subsample_accuracy() -> Vec<Table> {
+    let mut rng = Rng64::seeded(0xE2);
+    let (n, d) = (40_000, 16);
+    let target = Itemset::new(vec![2, 7]);
+    let db = generators::planted(
+        n,
+        d,
+        0.05,
+        &[generators::Plant { itemset: target.clone(), frequency: 0.25 }],
+        &mut rng,
+    );
+    let truth = db.frequency(&target);
+    let eps = 0.05;
+    let trials = 250;
+    let mut t = Table::new(
+        "E2: SUBSAMPLE empirical failure rate vs Hoeffding bound (for-each estimator, eps=0.05)",
+        &["samples_s", "empirical_fail", "hoeffding_bound", "mean_abs_err"],
+    );
+    for s in [50usize, 100, 200, 400, 800, 1600, 3200] {
+        let mut fails = 0usize;
+        let mut errs = Vec::with_capacity(trials);
+        for _ in 0..trials {
+            let sk = Subsample::with_sample_count(&db, s, eps, &mut rng);
+            let e = (sk.estimate(&target) - truth).abs();
+            errs.push(e);
+            if e > eps {
+                fails += 1;
+            }
+        }
+        t.row(vec![
+            i(s as u64),
+            f(fails as f64 / trials as f64),
+            f(ifs_util::tail::hoeffding_additive_bound(s as u64, eps)),
+            f(stats::mean(&errs)),
+        ]);
+    }
+    vec![t]
+}
+
+/// E9 — Theorem 17's boosting: max error over all k-itemsets of the median
+/// of r independent For-Each sketches, as r grows.
+pub fn e9_median_boost() -> Vec<Table> {
+    let mut rng = Rng64::seeded(0xE9);
+    let (n, d, k, eps) = (20_000, 12, 2, 0.05);
+    let db = generators::uniform(n, d, 0.3, &mut rng);
+    let params = SketchParams::new(k, eps, 0.2); // weak per-copy guarantee
+    let per_copy = Subsample::sample_count(d, &params, Guarantee::ForEachEstimator);
+    let mut t = Table::new(
+        "E9: For-Each -> For-All via median boosting (eps=0.05, per-copy delta=0.2)",
+        &["copies_r", "total_bits", "max_err_all_itemsets", "p99_err", "meets_eps"],
+    );
+    let r_star = MedianBoost::<Subsample>::copies_for(d, k, 0.05);
+    for r in [1usize, 3, 7, 15, 31, r_star] {
+        let boost = MedianBoost::build_with(r, |_| {
+            Subsample::with_sample_count(&db, per_copy, eps, &mut rng)
+        });
+        let mut errs = Vec::new();
+        for comb in combin::Combinations::new(d as u32, k as u32) {
+            let itemset = Itemset::new(comb);
+            errs.push((boost.estimate(&itemset) - db.frequency(&itemset)).abs());
+        }
+        let max = errs.iter().fold(0.0f64, |a, &b| a.max(b));
+        t.row(vec![
+            i(r as u64),
+            i(boost.size_bits()),
+            f(max),
+            f(stats::quantile(&errs, 0.99)),
+            (if max <= eps { "yes" } else { "no" }).into(),
+        ]);
+    }
+    vec![t]
+}
+
+/// E10 — §3.1 tightness: where each naive algorithm wins, and the gap
+/// between the naive upper bound and the strongest proven lower bound.
+pub fn e10_tightness() -> Vec<Table> {
+    let mut t = Table::new(
+        "E10: upper/lower bound tightness across regimes (bits)",
+        &["d", "k", "eps", "guarantee", "upper_bound", "winner", "lower_bound", "ub_over_lb"],
+    );
+    for &(d, k, inv_eps) in &[
+        (64u64, 2u64, 16u64),
+        (64, 3, 16),
+        (128, 3, 32),
+        (256, 3, 64),
+        (256, 5, 64),
+        (512, 5, 128),
+    ] {
+        let eps = 1.0 / inv_eps as f64;
+        // n large enough for every lower bound to apply.
+        let regime = bounds::Regime { n: 1 << 40, d, k, epsilon: eps, delta: 0.1 };
+        for guarantee in Guarantee::ALL {
+            let ub = bounds::naive_upper_bound_bits(&regime, guarantee);
+            let lb = bounds::best_lower_bound_bits(&regime, guarantee);
+            t.row(vec![
+                i(d),
+                i(k),
+                f(eps),
+                guarantee.name().into(),
+                f(ub),
+                bounds::naive_winner(&regime, guarantee).into(),
+                lb.map_or("n/a".into(), f),
+                lb.map_or("n/a".into(), |l| f(ub / l)),
+            ]);
+        }
+    }
+    vec![t]
+}

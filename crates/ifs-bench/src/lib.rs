@@ -1,0 +1,46 @@
+//! Experiment harness: regenerates every table/series in EXPERIMENTS.md.
+//!
+//! The paper has no measurement tables of its own (it is a theory paper);
+//! the reproducible artifacts are the theorem-shaped quantities listed in
+//! DESIGN.md §4 (experiments E1–E13). Each `eN` function returns one or
+//! more [`ifs_util::table::Table`]s; the `tables` binary renders them to
+//! stdout and CSV files under `bench_results/`.
+//!
+//! Criterion benches (in `benches/`) cover the *time* dimension of the same
+//! code paths; the tables here cover the *space and accuracy* dimensions,
+//! which is what the paper is about.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod e_encoding;
+pub mod e_estimator;
+pub mod e_naive;
+pub mod e_workloads;
+
+use ifs_util::table::Table;
+
+/// All experiment ids in order.
+pub const ALL_EXPERIMENTS: [&str; 13] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
+];
+
+/// Runs one experiment by id.
+pub fn run(id: &str) -> Vec<Table> {
+    match id {
+        "e1" => e_naive::e1_naive_sizes(),
+        "e2" => e_naive::e2_subsample_accuracy(),
+        "e3" => e_encoding::e3_thm13_attack(),
+        "e4" => e_encoding::e4_index_game(),
+        "e5" => e_encoding::e5_shattering(),
+        "e6" => e_encoding::e6_thm15_core(),
+        "e7" => e_encoding::e7_amplification(),
+        "e8" => e_estimator::e8_lp_decoding(),
+        "e9" => e_naive::e9_median_boost(),
+        "e10" => e_naive::e10_tightness(),
+        "e11" => e_workloads::e11_streaming_vs_sampling(),
+        "e12" => e_workloads::e12_mining_on_sketch(),
+        "e13" => e_workloads::e13_biclique(),
+        other => panic!("unknown experiment id '{other}'; known: {ALL_EXPERIMENTS:?}"),
+    }
+}

@@ -1,0 +1,236 @@
+//! Concatenated codes: RS(n, k) over GF(2⁸) ∘ binary inner code.
+//!
+//! The composition encodes `8k` message bits into `n · L_in` codeword bits.
+//! Its worst-case guarantee is exactly what the paper's encoding arguments
+//! require: if an adversary flips at most
+//! `γ = t_out·(t_in + 1) / (n·L_in)` of **all** codeword bits, decoding is
+//! unique and exact. Proof of the bound: a wrong inner block needs at least
+//! `t_in + 1` flips, so at most `flips/(t_in+1) ≤ γ·n·L_in/(t_in+1) = t_out`
+//! outer symbols are wrong, which RS corrects.
+//!
+//! [`ConcatenatedCode::for_codeword_bits`] solves the inverse problem posed
+//! by Theorem 15's construction — "here are `d·v` physical bits and a 4%
+//! error guarantee; give me the largest message that survives" — by fixing
+//! the inner code and maximizing the RS dimension subject to `γ ≥ 4%`.
+//! A single RS block supports codewords up to `255 · 32 = 8160` bits, which
+//! covers every experiment in EXPERIMENTS.md (the harness sizes `d·v`
+//! accordingly).
+
+use crate::{BinaryLinearCode, ReedSolomon};
+
+/// A Reed–Solomon ∘ binary-linear concatenated code.
+#[derive(Clone, Debug)]
+pub struct ConcatenatedCode {
+    rs: ReedSolomon,
+    inner: BinaryLinearCode,
+}
+
+impl ConcatenatedCode {
+    /// Composes explicit components.
+    pub fn new(rs: ReedSolomon, inner: BinaryLinearCode) -> Self {
+        Self { rs, inner }
+    }
+
+    /// The standard inner code used throughout: `[32, 8, ≥9]`, found
+    /// deterministically (see [`BinaryLinearCode::search`]).
+    pub fn default_inner() -> BinaryLinearCode {
+        BinaryLinearCode::search(32, 9, 256)
+            .expect("a [32,8,9] binary code exists within the fixed seed stream")
+    }
+
+    /// Builds the largest-rate code with codeword length **exactly**
+    /// `n_bits` and guaranteed adversarial tolerance at least `gamma`.
+    ///
+    /// Returns `None` when `n_bits` is not a positive multiple of the inner
+    /// block length, exceeds one RS block (`255 · 32` bits), or is too short
+    /// to afford the parity needed for `gamma`.
+    pub fn for_codeword_bits(n_bits: usize, gamma: f64) -> Option<Self> {
+        let inner = Self::default_inner();
+        let l_in = inner.block_len();
+        if n_bits == 0 || n_bits % l_in != 0 {
+            return None;
+        }
+        let n_sym = n_bits / l_in;
+        if n_sym < 3 || n_sym > 255 {
+            return None;
+        }
+        // Need t_out ≥ γ·n·L_in/(t_in+1); choose the smallest such t_out and
+        // the largest k = n − 2·t_out.
+        let t_in = inner.correctable();
+        let t_out_needed =
+            (gamma * (n_sym * l_in) as f64 / (t_in + 1) as f64).ceil() as usize;
+        if 2 * t_out_needed >= n_sym {
+            return None;
+        }
+        let k_sym = n_sym - 2 * t_out_needed;
+        Some(Self::new(ReedSolomon::new(n_sym, k_sym), inner))
+    }
+
+    /// Message length in bits (`8·k`).
+    pub fn message_bits(&self) -> usize {
+        8 * self.rs.k()
+    }
+
+    /// Codeword length in bits (`n · L_in`).
+    pub fn codeword_bits(&self) -> usize {
+        self.rs.n() * self.inner.block_len()
+    }
+
+    /// Code rate `message_bits / codeword_bits`.
+    pub fn rate(&self) -> f64 {
+        self.message_bits() as f64 / self.codeword_bits() as f64
+    }
+
+    /// The guaranteed worst-case correctable bit-error fraction
+    /// `t_out·(t_in+1)/(n·L_in)`.
+    pub fn guaranteed_error_fraction(&self) -> f64 {
+        (self.rs.t() * (self.inner.correctable() + 1)) as f64 / self.codeword_bits() as f64
+    }
+
+    /// Encodes `message_bits()` bits into `codeword_bits()` bits.
+    pub fn encode(&self, message: &[bool]) -> Vec<bool> {
+        assert_eq!(message.len(), self.message_bits(), "message length mismatch");
+        let data: Vec<u8> = message
+            .chunks(8)
+            .map(|byte| byte.iter().enumerate().fold(0u8, |acc, (i, &b)| acc | ((b as u8) << i)))
+            .collect();
+        let symbols = self.rs.encode(&data);
+        let l_in = self.inner.block_len();
+        let mut out = Vec::with_capacity(self.codeword_bits());
+        for &sym in &symbols {
+            let block = self.inner.encode(sym);
+            for i in 0..l_in {
+                out.push((block >> i) & 1 == 1);
+            }
+        }
+        out
+    }
+
+    /// Decodes a (possibly corrupted) codeword. Returns `None` when the
+    /// corruption exceeds what RS can uniquely correct.
+    pub fn decode(&self, received: &[bool]) -> Option<Vec<bool>> {
+        assert_eq!(received.len(), self.codeword_bits(), "codeword length mismatch");
+        let l_in = self.inner.block_len();
+        let symbols: Vec<u8> = received
+            .chunks(l_in)
+            .map(|block| {
+                let word = block
+                    .iter()
+                    .enumerate()
+                    .fold(0u64, |acc, (i, &b)| acc | ((b as u64) << i));
+                self.inner.decode(word)
+            })
+            .collect();
+        let corrected = self.rs.decode(&symbols).ok()?;
+        let data = self.rs.extract_data(&corrected);
+        let mut out = Vec::with_capacity(self.message_bits());
+        for byte in data {
+            for i in 0..8 {
+                out.push((byte >> i) & 1 == 1);
+            }
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ifs_util::Rng64;
+
+    fn random_message(len: usize, rng: &mut Rng64) -> Vec<bool> {
+        (0..len).map(|_| rng.bernoulli(0.5)).collect()
+    }
+
+    #[test]
+    fn default_construction_meets_four_percent() {
+        let code = ConcatenatedCode::for_codeword_bits(8160, 0.04).expect("full-length block");
+        assert!(code.guaranteed_error_fraction() >= 0.04);
+        assert!(code.rate() > 0.05, "rate {} collapsed", code.rate());
+        assert_eq!(code.codeword_bits(), 8160);
+    }
+
+    #[test]
+    fn roundtrip_without_errors() {
+        let code = ConcatenatedCode::for_codeword_bits(1024, 0.04).unwrap();
+        let mut rng = Rng64::seeded(8);
+        let msg = random_message(code.message_bits(), &mut rng);
+        let cw = code.encode(&msg);
+        assert_eq!(cw.len(), 1024);
+        assert_eq!(code.decode(&cw).unwrap(), msg);
+    }
+
+    #[test]
+    fn survives_guaranteed_adversarial_fraction() {
+        let code = ConcatenatedCode::for_codeword_bits(2048, 0.04).unwrap();
+        let gamma = code.guaranteed_error_fraction();
+        let budget = (gamma * 2048.0).floor() as usize;
+        let mut rng = Rng64::seeded(9);
+        let msg = random_message(code.message_bits(), &mut rng);
+        let cw = code.encode(&msg);
+        // Adversarial strategy: concentrate flips on the fewest inner blocks
+        // possible (t_in+1 flips each) — exactly the worst case of the bound.
+        let mut rx = cw.clone();
+        let per_block = 5; // t_in + 1 for the default [32,8,9] inner code
+        let mut spent = 0;
+        let mut block = 0;
+        while spent + per_block <= budget {
+            for b in 0..per_block {
+                rx[block * 32 + b] = !rx[block * 32 + b];
+            }
+            spent += per_block;
+            block += 1;
+        }
+        // Any leftover budget scattered in one more block (harmless or not —
+        // still within gamma).
+        for b in 0..(budget - spent) {
+            rx[block * 32 + b] = !rx[block * 32 + b];
+        }
+        assert_eq!(code.decode(&rx).expect("within guarantee"), msg);
+    }
+
+    #[test]
+    fn survives_random_four_percent() {
+        let code = ConcatenatedCode::for_codeword_bits(4096, 0.04).unwrap();
+        let mut rng = Rng64::seeded(10);
+        for _ in 0..10 {
+            let msg = random_message(code.message_bits(), &mut rng);
+            let mut rx = code.encode(&msg);
+            let flips = (0.04 * rx.len() as f64) as usize;
+            for &p in &rng.distinct_sorted(rx.len(), flips) {
+                rx[p] = !rx[p];
+            }
+            assert_eq!(code.decode(&rx).expect("4% random"), msg);
+        }
+    }
+
+    #[test]
+    fn fails_gracefully_under_heavy_corruption() {
+        let code = ConcatenatedCode::for_codeword_bits(1024, 0.04).unwrap();
+        let mut rng = Rng64::seeded(11);
+        let msg = random_message(code.message_bits(), &mut rng);
+        let mut rx = code.encode(&msg);
+        // 40% random flips: decoding must not panic; it may fail or (rarely)
+        // miscorrect, but must not return the original by accident check.
+        for &p in &rng.distinct_sorted(rx.len(), 410) {
+            rx[p] = !rx[p];
+        }
+        let _ = code.decode(&rx);
+    }
+
+    #[test]
+    fn rejects_invalid_sizes() {
+        assert!(ConcatenatedCode::for_codeword_bits(0, 0.04).is_none());
+        assert!(ConcatenatedCode::for_codeword_bits(33, 0.04).is_none()); // not multiple of 32
+        assert!(ConcatenatedCode::for_codeword_bits(16_384, 0.04).is_none()); // > one RS block
+        assert!(ConcatenatedCode::for_codeword_bits(96, 0.4).is_none()); // gamma too greedy
+    }
+
+    #[test]
+    fn rate_increases_with_looser_gamma() {
+        let strict = ConcatenatedCode::for_codeword_bits(4096, 0.04).unwrap();
+        let loose = ConcatenatedCode::for_codeword_bits(4096, 0.01).unwrap();
+        assert!(loose.rate() > strict.rate());
+        assert!(loose.guaranteed_error_fraction() >= 0.01);
+    }
+}

@@ -1,0 +1,35 @@
+//! Error-correcting codes for the encoding arguments of Theorems 15 and 16.
+//!
+//! Both proofs finish the same way: the reconstruction step recovers 96% of
+//! an auxiliary bit string, so the paper lets that string be "the
+//! error-corrected encoding of a vector … using a code with constant rate
+//! that is uniquely decodable from 4% errors (e.g. using a Justesen code
+//! \[Jus72\])". This crate supplies that code.
+//!
+//! Rather than Justesen's specific construction we implement the classic
+//! concatenation that Justesen codes are a variant of (see DESIGN.md §2):
+//!
+//! * [`gf256`] — the field GF(2⁸) with log/antilog tables.
+//! * [`poly`] — polynomials over GF(2⁸).
+//! * [`ReedSolomon`] — systematic RS codes over GF(2⁸) with
+//!   Berlekamp–Massey + Chien + Forney decoding (corrects `(n−k)/2` symbol
+//!   errors).
+//! * [`BinaryLinearCode`] — an inner `[n_in, 8]` binary linear code with
+//!   construction-time verified minimum distance and exhaustive
+//!   maximum-likelihood decoding (256 codewords).
+//! * [`ConcatenatedCode`] — the composition: constant rate, uniquely
+//!   decodable from a constant adversarial bit-error fraction, with the
+//!   guaranteed fraction computable from the component parameters.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod binary;
+mod concat;
+pub mod gf256;
+pub mod poly;
+mod reed_solomon;
+
+pub use binary::BinaryLinearCode;
+pub use concat::ConcatenatedCode;
+pub use reed_solomon::ReedSolomon;

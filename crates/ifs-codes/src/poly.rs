@@ -1,0 +1,195 @@
+//! Polynomials over GF(2⁸), little-endian coefficient order
+//! (`coeffs[i]` multiplies `x^i`).
+
+use crate::gf256;
+
+/// Removes trailing zero coefficients (normal form).
+pub fn trim(p: &mut Vec<u8>) {
+    while p.len() > 1 && *p.last().expect("non-empty") == 0 {
+        p.pop();
+    }
+}
+
+/// Degree of a normal-form polynomial (deg 0 for constants, including 0).
+pub fn degree(p: &[u8]) -> usize {
+    let mut d = p.len().saturating_sub(1);
+    while d > 0 && p[d] == 0 {
+        d -= 1;
+    }
+    d
+}
+
+/// Polynomial addition (= subtraction).
+pub fn add(a: &[u8], b: &[u8]) -> Vec<u8> {
+    let mut out = vec![0u8; a.len().max(b.len())];
+    for (i, &c) in a.iter().enumerate() {
+        out[i] ^= c;
+    }
+    for (i, &c) in b.iter().enumerate() {
+        out[i] ^= c;
+    }
+    trim(&mut out);
+    out
+}
+
+/// Polynomial multiplication.
+pub fn mul(a: &[u8], b: &[u8]) -> Vec<u8> {
+    if a.is_empty() || b.is_empty() {
+        return vec![0];
+    }
+    let mut out = vec![0u8; a.len() + b.len() - 1];
+    for (i, &ca) in a.iter().enumerate() {
+        if ca == 0 {
+            continue;
+        }
+        for (j, &cb) in b.iter().enumerate() {
+            out[i + j] ^= gf256::mul(ca, cb);
+        }
+    }
+    trim(&mut out);
+    out
+}
+
+/// Scales by a field element.
+pub fn scale(p: &[u8], s: u8) -> Vec<u8> {
+    let mut out: Vec<u8> = p.iter().map(|&c| gf256::mul(c, s)).collect();
+    trim(&mut out);
+    out
+}
+
+/// Multiplies by `x^k` (shift up).
+pub fn shift(p: &[u8], k: usize) -> Vec<u8> {
+    if p == [0] {
+        return vec![0];
+    }
+    let mut out = vec![0u8; k];
+    out.extend_from_slice(p);
+    out
+}
+
+/// Evaluates `p(x)` by Horner's rule.
+pub fn eval(p: &[u8], x: u8) -> u8 {
+    let mut acc = 0u8;
+    for &c in p.iter().rev() {
+        acc = gf256::mul(acc, x) ^ c;
+    }
+    acc
+}
+
+/// Euclidean division: returns `(quotient, remainder)` with
+/// `a = q·b + r`, `deg r < deg b`. Panics if `b` is zero.
+pub fn divmod(a: &[u8], b: &[u8]) -> (Vec<u8>, Vec<u8>) {
+    let db = degree(b);
+    assert!(!(db == 0 && b[0] == 0), "division by zero polynomial");
+    let mut rem = a.to_vec();
+    trim(&mut rem);
+    let da = degree(&rem);
+    if da < db || (da == 0 && rem[0] == 0) {
+        return (vec![0], rem);
+    }
+    let lead_inv = gf256::inv(b[db]);
+    let mut quot = vec![0u8; da - db + 1];
+    for d in (db..=da).rev() {
+        let coef = *rem.get(d).unwrap_or(&0);
+        if coef == 0 {
+            continue;
+        }
+        let q = gf256::mul(coef, lead_inv);
+        quot[d - db] = q;
+        for (i, &bc) in b.iter().enumerate().take(db + 1) {
+            rem[d - db + i] ^= gf256::mul(q, bc);
+        }
+    }
+    trim(&mut rem);
+    trim(&mut quot);
+    (quot, rem)
+}
+
+/// Formal derivative. Over GF(2ᵐ) even-power terms vanish:
+/// `(Σ cᵢ xⁱ)' = Σ_{i odd} cᵢ x^{i−1}`.
+pub fn derivative(p: &[u8]) -> Vec<u8> {
+    if p.len() <= 1 {
+        return vec![0];
+    }
+    let mut out = vec![0u8; p.len() - 1];
+    for (i, &c) in p.iter().enumerate().skip(1) {
+        if i % 2 == 1 {
+            out[i - 1] = c;
+        }
+    }
+    trim(&mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_cancels_duplicates() {
+        assert_eq!(add(&[1, 2, 3], &[1, 2, 3]), vec![0]);
+        assert_eq!(add(&[1, 2], &[0, 0, 5]), vec![1, 2, 5]);
+    }
+
+    #[test]
+    fn mul_known_product() {
+        // (1 + x)(1 + x) = 1 + x² over GF(2^m).
+        assert_eq!(mul(&[1, 1], &[1, 1]), vec![1, 0, 1]);
+        assert_eq!(mul(&[0], &[1, 2, 3]), vec![0]);
+    }
+
+    #[test]
+    fn eval_horner() {
+        // p(x) = 3 + 2x + x²  at x=2: 3 ^ mul(2,2) ^ mul(1,4) = 3 ^ 4 ^ 4 = 3.
+        let p = [3u8, 2, 1];
+        let x = 2u8;
+        let expect = 3 ^ gf256::mul(2, x) ^ gf256::mul(1, gf256::mul(x, x));
+        assert_eq!(eval(&p, x), expect);
+        assert_eq!(eval(&p, 0), 3);
+    }
+
+    #[test]
+    fn divmod_reconstructs() {
+        let a = [5u8, 7, 1, 9, 4];
+        let b = [3u8, 1, 2];
+        let (q, r) = divmod(&a, &b);
+        let back = add(&mul(&q, &b), &r);
+        let mut a_trim = a.to_vec();
+        trim(&mut a_trim);
+        assert_eq!(back, a_trim);
+        assert!(degree(&r) < degree(&b) || r == vec![0]);
+    }
+
+    #[test]
+    fn divmod_smaller_degree() {
+        let (q, r) = divmod(&[1, 2], &[0, 0, 1]);
+        assert_eq!(q, vec![0]);
+        assert_eq!(r, vec![1, 2]);
+    }
+
+    #[test]
+    fn derivative_drops_even_terms() {
+        // p = c0 + c1 x + c2 x² + c3 x³ -> p' = c1 + c3 x² (char 2).
+        assert_eq!(derivative(&[9, 7, 5, 3]), vec![7, 0, 3]);
+        assert_eq!(derivative(&[1]), vec![0]);
+    }
+
+    #[test]
+    fn shift_multiplies_by_x_k() {
+        assert_eq!(shift(&[1, 2], 2), vec![0, 0, 1, 2]);
+        assert_eq!(shift(&[0], 3), vec![0]);
+        let a = [4u8, 5];
+        assert_eq!(shift(&a, 1), mul(&a, &[0, 1]));
+    }
+
+    #[test]
+    fn roots_via_eval() {
+        // (x - α)(x - α²) has roots α, α² (minus = plus in char 2).
+        let a1 = gf256::alpha_pow(1);
+        let a2 = gf256::alpha_pow(2);
+        let p = mul(&[a1, 1], &[a2, 1]);
+        assert_eq!(eval(&p, a1), 0);
+        assert_eq!(eval(&p, a2), 0);
+        assert_ne!(eval(&p, gf256::alpha_pow(3)), 0);
+    }
+}

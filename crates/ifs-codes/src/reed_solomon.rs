@@ -1,0 +1,292 @@
+//! Systematic Reed–Solomon codes over GF(2⁸).
+//!
+//! `RS(n, k)` with `n ≤ 255` encodes `k` data symbols into `n` symbols and
+//! uniquely corrects up to `t = ⌊(n−k)/2⌋` symbol errors. Decoding is the
+//! classical chain: syndromes → Berlekamp–Massey (error locator) → Chien
+//! search (error positions) → Forney (error magnitudes).
+//!
+//! Conventions: generator `g(x) = Π_{i=1}^{n−k} (x − αⁱ)` (first consecutive
+//! root 1), codeword polynomial `c(x) = Σ c_j x^j` with `c_j` the `j`-th
+//! transmitted symbol, data symbols occupying the **high-degree** positions
+//! `x^{n−k}..x^{n−1}` so the code is systematic.
+
+use crate::{gf256, poly};
+
+/// A Reed–Solomon code with fixed `(n, k)`.
+#[derive(Clone, Debug)]
+pub struct ReedSolomon {
+    n: usize,
+    k: usize,
+    generator: Vec<u8>,
+}
+
+/// Decoding failure: more errors than the code can uniquely correct.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DecodeFailure;
+
+impl std::fmt::Display for DecodeFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Reed-Solomon decoding failure (too many errors)")
+    }
+}
+
+impl std::error::Error for DecodeFailure {}
+
+impl ReedSolomon {
+    /// Creates `RS(n, k)`. Panics unless `0 < k < n ≤ 255`.
+    pub fn new(n: usize, k: usize) -> Self {
+        assert!(k > 0 && k < n && n <= 255, "invalid RS parameters n={n} k={k}");
+        let mut generator = vec![1u8];
+        for i in 1..=(n - k) {
+            generator = poly::mul(&generator, &[gf256::alpha_pow(i as i64), 1]);
+        }
+        Self { n, k, generator }
+    }
+
+    /// Block length in symbols.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Data symbols per block.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Guaranteed correctable symbol errors `t = ⌊(n−k)/2⌋`.
+    pub fn t(&self) -> usize {
+        (self.n - self.k) / 2
+    }
+
+    /// Encodes `k` data symbols into an `n`-symbol codeword.
+    ///
+    /// Layout: `codeword[0..n−k]` are parity symbols (low-degree
+    /// coefficients), `codeword[n−k..]` are the data verbatim.
+    pub fn encode(&self, data: &[u8]) -> Vec<u8> {
+        assert_eq!(data.len(), self.k, "expected {} data symbols", self.k);
+        let parity_len = self.n - self.k;
+        // m(x)·x^{n−k} mod g(x) gives the parity.
+        let shifted = poly::shift(data, parity_len);
+        let (_, rem) = poly::divmod(&shifted, &self.generator);
+        let mut cw = vec![0u8; self.n];
+        for (i, &c) in rem.iter().enumerate() {
+            cw[i] = c;
+        }
+        cw[parity_len..].copy_from_slice(data);
+        cw
+    }
+
+    /// Extracts the data symbols from an (error-free) codeword.
+    pub fn extract_data(&self, codeword: &[u8]) -> Vec<u8> {
+        codeword[self.n - self.k..].to_vec()
+    }
+
+    /// Syndromes `S_i = r(α^{i+1})`, `i = 0..n−k−1`; all zero iff `r` is a
+    /// codeword.
+    fn syndromes(&self, received: &[u8]) -> Vec<u8> {
+        (1..=(self.n - self.k))
+            .map(|i| poly::eval(received, gf256::alpha_pow(i as i64)))
+            .collect()
+    }
+
+    /// Berlekamp–Massey: the minimal LFSR (error locator Λ) fitting the
+    /// syndrome sequence.
+    fn berlekamp_massey(syndromes: &[u8]) -> Vec<u8> {
+        let mut lambda = vec![1u8];
+        let mut prev = vec![1u8];
+        let mut l = 0usize;
+        let mut m = 1usize;
+        let mut b = 1u8;
+        for (n_iter, &s) in syndromes.iter().enumerate() {
+            // Discrepancy δ = S_n + Σ_{i=1}^{L} Λ_i S_{n−i}.
+            let mut delta = s;
+            for i in 1..=l.min(lambda.len() - 1) {
+                delta ^= gf256::mul(lambda[i], syndromes[n_iter - i]);
+            }
+            if delta == 0 {
+                m += 1;
+            } else if 2 * l <= n_iter {
+                let t = lambda.clone();
+                let coef = gf256::div(delta, b);
+                let adj = poly::shift(&poly::scale(&prev, coef), m);
+                lambda = poly::add(&lambda, &adj);
+                l = n_iter + 1 - l;
+                prev = t;
+                b = delta;
+                m = 1;
+            } else {
+                let coef = gf256::div(delta, b);
+                let adj = poly::shift(&poly::scale(&prev, coef), m);
+                lambda = poly::add(&lambda, &adj);
+                m += 1;
+            }
+        }
+        lambda
+    }
+
+    /// Decodes in place, returning the corrected codeword, or a failure when
+    /// more than `t` errors are present (detected via locator/root mismatch
+    /// or out-of-range positions).
+    pub fn decode(&self, received: &[u8]) -> Result<Vec<u8>, DecodeFailure> {
+        assert_eq!(received.len(), self.n, "expected {} received symbols", self.n);
+        let synd = self.syndromes(received);
+        if synd.iter().all(|&s| s == 0) {
+            return Ok(received.to_vec());
+        }
+        let lambda = Self::berlekamp_massey(&synd);
+        let num_errors = poly::degree(&lambda);
+        if num_errors == 0 || num_errors > self.t() {
+            return Err(DecodeFailure);
+        }
+        // Chien search: position j is in error iff Λ(α^{−j}) = 0.
+        let mut positions = Vec::with_capacity(num_errors);
+        for j in 0..self.n {
+            if poly::eval(&lambda, gf256::alpha_pow(-(j as i64))) == 0 {
+                positions.push(j);
+            }
+        }
+        if positions.len() != num_errors {
+            return Err(DecodeFailure);
+        }
+        // Forney: Ω(x) = S(x)·Λ(x) mod x^{n−k};
+        // with first consecutive root α¹ the magnitude at position j is
+        // e_j = Ω(X_j⁻¹) / Λ′(X_j⁻¹), X_j = α^j. (Check: a single error of
+        // magnitude e at j gives S(x)Λ(x) ≡ e·X_j and Λ′ = X_j.)
+        let s_poly = synd.clone();
+        let mut omega = poly::mul(&s_poly, &lambda);
+        omega.truncate(self.n - self.k);
+        poly::trim(&mut omega);
+        let lambda_prime = poly::derivative(&lambda);
+        let mut corrected = received.to_vec();
+        for &j in &positions {
+            let x = gf256::alpha_pow(j as i64);
+            let x_inv = gf256::inv(x);
+            let num = poly::eval(&omega, x_inv);
+            let den = poly::eval(&lambda_prime, x_inv);
+            if den == 0 {
+                return Err(DecodeFailure);
+            }
+            let magnitude = gf256::div(num, den);
+            corrected[j] ^= magnitude;
+        }
+        // Final verification: re-check syndromes (guards against
+        // miscorrection past the design distance).
+        if self.syndromes(&corrected).iter().any(|&s| s != 0) {
+            return Err(DecodeFailure);
+        }
+        Ok(corrected)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ifs_util::Rng64;
+
+    fn random_data(k: usize, rng: &mut Rng64) -> Vec<u8> {
+        (0..k).map(|_| rng.below(256) as u8).collect()
+    }
+
+    #[test]
+    fn encode_is_systematic() {
+        let rs = ReedSolomon::new(15, 9);
+        let data: Vec<u8> = (1..=9).collect();
+        let cw = rs.encode(&data);
+        assert_eq!(cw.len(), 15);
+        assert_eq!(&cw[6..], &data[..]);
+        assert_eq!(rs.extract_data(&cw), data);
+    }
+
+    #[test]
+    fn codeword_has_zero_syndromes() {
+        let rs = ReedSolomon::new(15, 9);
+        let mut rng = Rng64::seeded(1);
+        let cw = rs.encode(&random_data(9, &mut rng));
+        assert!(rs.syndromes(&cw).iter().all(|&s| s == 0));
+    }
+
+    #[test]
+    fn corrects_up_to_t_errors() {
+        let mut rng = Rng64::seeded(2);
+        for (n, k) in [(15usize, 9usize), (31, 15), (255, 191)] {
+            let rs = ReedSolomon::new(n, k);
+            let t = rs.t();
+            for trial in 0..20 {
+                let data = random_data(k, &mut rng);
+                let cw = rs.encode(&data);
+                let mut rx = cw.clone();
+                let num_err = rng.below(t + 1);
+                let pos = rng.distinct_sorted(n, num_err);
+                for &p in &pos {
+                    let e = 1 + rng.below(255) as u8;
+                    rx[p] ^= e;
+                }
+                let decoded = rs.decode(&rx).unwrap_or_else(|_| {
+                    panic!("RS({n},{k}) trial {trial}: failed with {num_err} <= t={t} errors")
+                });
+                assert_eq!(decoded, cw);
+                assert_eq!(rs.extract_data(&decoded), data);
+            }
+        }
+    }
+
+    #[test]
+    fn detects_or_rejects_beyond_t() {
+        // Beyond t errors unique decoding is impossible; the decoder must
+        // either return DecodeFailure or a valid (possibly wrong) codeword —
+        // never crash. We additionally check it usually reports failure.
+        let rs = ReedSolomon::new(15, 9);
+        let mut rng = Rng64::seeded(3);
+        let mut failures = 0;
+        let trials = 50;
+        for _ in 0..trials {
+            let data = random_data(9, &mut rng);
+            let cw = rs.encode(&data);
+            let mut rx = cw.clone();
+            for &p in &rng.distinct_sorted(15, rs.t() + 2) {
+                rx[p] ^= 1 + rng.below(255) as u8;
+            }
+            if rs.decode(&rx).is_err() {
+                failures += 1;
+            }
+        }
+        assert!(failures > trials / 2, "only {failures}/{trials} detected");
+    }
+
+    #[test]
+    fn zero_errors_is_identity() {
+        let rs = ReedSolomon::new(31, 19);
+        let mut rng = Rng64::seeded(4);
+        let cw = rs.encode(&random_data(19, &mut rng));
+        assert_eq!(rs.decode(&cw).unwrap(), cw);
+    }
+
+    #[test]
+    fn erasures_as_errors_at_max_rate() {
+        // n - k = 2 -> t = 1: single-error correcting code.
+        let rs = ReedSolomon::new(10, 8);
+        let mut rng = Rng64::seeded(5);
+        let data = random_data(8, &mut rng);
+        let cw = rs.encode(&data);
+        for p in 0..10 {
+            let mut rx = cw.clone();
+            rx[p] ^= 0x5A;
+            assert_eq!(rs.decode(&rx).unwrap(), cw, "position {p}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid RS parameters")]
+    fn rejects_bad_parameters() {
+        ReedSolomon::new(256, 100);
+    }
+
+    #[test]
+    fn generator_has_consecutive_roots() {
+        let rs = ReedSolomon::new(15, 9);
+        for i in 1..=6 {
+            assert_eq!(poly::eval(&rs.generator, gf256::alpha_pow(i)), 0, "root α^{i}");
+        }
+        assert_ne!(poly::eval(&rs.generator, gf256::alpha_pow(7)), 0);
+    }
+}

@@ -1,0 +1,168 @@
+//! For-Each → For-All boosting (the construction inside Theorem 17's proof).
+//!
+//! Given any For-Each-Estimator sketch with failure probability δ′ < 1/2, the
+//! paper builds a For-All-Estimator sketch by storing `r = O(log(C(d,k)/δ))`
+//! independent copies and answering queries with the **median** of the `r`
+//! estimates. A Chernoff bound drives each itemset's failure probability down
+//! to `δ/C(d,k)`; a union bound then covers all itemsets. The transform costs
+//! a multiplicative `O(k·log(d/k))` in space, which is how Theorem 17
+//! inherits the Theorem 16 lower bound.
+//!
+//! [`MedianBoost`] implements the estimator transform and a majority-vote
+//! analog for indicators.
+
+use crate::traits::{FrequencyEstimator, FrequencyIndicator, Sketch};
+use ifs_database::Itemset;
+use ifs_util::combin;
+
+/// `r` independent copies of a base sketch, answering with median / majority.
+pub struct MedianBoost<S> {
+    copies: Vec<S>,
+}
+
+impl<S> MedianBoost<S> {
+    /// Boosts with an explicit number of copies. `build_copy(i)` must create
+    /// the `i`-th independent copy (fresh randomness per copy).
+    pub fn build_with(copies: usize, mut build_copy: impl FnMut(usize) -> S) -> Self {
+        assert!(copies >= 1, "need at least one copy");
+        Self { copies: (0..copies).map(&mut build_copy).collect() }
+    }
+
+    /// The copy count `r = ⌈10·log₂(C(d,k)/δ)⌉` from the proof of
+    /// Theorem 17, rounded up to odd so the median is a single estimate.
+    pub fn copies_for(d: usize, k: usize, delta: f64) -> usize {
+        assert!(delta > 0.0 && delta < 1.0);
+        let log_c = combin::log2_binomial(d as u64, k as u64);
+        let r = (10.0 * (log_c + (1.0 / delta).log2())).ceil().max(1.0) as usize;
+        if r % 2 == 0 {
+            r + 1
+        } else {
+            r
+        }
+    }
+
+    /// Number of stored copies.
+    pub fn len(&self) -> usize {
+        self.copies.len()
+    }
+
+    /// True if no copies are stored (unreachable via constructors).
+    pub fn is_empty(&self) -> bool {
+        self.copies.is_empty()
+    }
+
+    /// The underlying copies.
+    pub fn copies(&self) -> &[S] {
+        &self.copies
+    }
+}
+
+impl<S: Sketch> Sketch for MedianBoost<S> {
+    fn size_bits(&self) -> u64 {
+        self.copies.iter().map(Sketch::size_bits).sum()
+    }
+}
+
+impl<S: FrequencyEstimator> FrequencyEstimator for MedianBoost<S> {
+    fn estimate(&self, itemset: &Itemset) -> f64 {
+        let ests: Vec<f64> = self.copies.iter().map(|c| c.estimate(itemset)).collect();
+        ifs_util::stats::median(&ests)
+    }
+}
+
+impl<S: FrequencyIndicator> FrequencyIndicator for MedianBoost<S> {
+    fn is_frequent(&self, itemset: &Itemset) -> bool {
+        let votes = self.copies.iter().filter(|c| c.is_frequent(itemset)).count();
+        2 * votes > self.copies.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ifs_util::Rng64;
+    use std::cell::RefCell;
+
+    /// A deliberately unreliable estimator: correct within ±0.01 with
+    /// probability 0.8, else off by 0.5.
+    struct Flaky {
+        truth: f64,
+        rng: RefCell<Rng64>,
+    }
+
+    impl Sketch for Flaky {
+        fn size_bits(&self) -> u64 {
+            32
+        }
+    }
+
+    impl FrequencyEstimator for Flaky {
+        fn estimate(&self, _: &Itemset) -> f64 {
+            let mut rng = self.rng.borrow_mut();
+            if rng.bernoulli(0.8) {
+                self.truth + 0.01 * (rng.unit() - 0.5)
+            } else {
+                (self.truth + 0.5).min(1.0)
+            }
+        }
+    }
+
+    #[test]
+    fn median_suppresses_outliers() {
+        let mut seed_rng = Rng64::seeded(41);
+        let boost = MedianBoost::build_with(61, |_| Flaky {
+            truth: 0.3,
+            rng: RefCell::new(seed_rng.fork()),
+        });
+        let t = Itemset::singleton(0);
+        // Each copy fails 20% of the time; the median of 61 fails only if
+        // >= 31 fail, a > 6σ event even across 50 repeated queries.
+        let mut worst: f64 = 0.0;
+        for _ in 0..50 {
+            worst = worst.max((boost.estimate(&t) - 0.3).abs());
+        }
+        assert!(worst < 0.05, "median error {worst}");
+    }
+
+    #[test]
+    fn size_is_sum_of_copies() {
+        let boost = MedianBoost::build_with(5, |_| Flaky {
+            truth: 0.1,
+            rng: RefCell::new(Rng64::seeded(1)),
+        });
+        assert_eq!(boost.size_bits(), 5 * 32);
+        assert_eq!(boost.len(), 5);
+    }
+
+    #[test]
+    fn copy_count_grows_with_d_and_shrinks_with_delta() {
+        let base = MedianBoost::<Flaky>::copies_for(32, 3, 0.1);
+        assert!(MedianBoost::<Flaky>::copies_for(256, 3, 0.1) > base);
+        assert!(MedianBoost::<Flaky>::copies_for(32, 3, 0.001) > base);
+        // Always odd.
+        assert_eq!(base % 2, 1);
+    }
+
+    struct ConstIndicator(bool);
+
+    impl Sketch for ConstIndicator {
+        fn size_bits(&self) -> u64 {
+            1
+        }
+    }
+
+    impl FrequencyIndicator for ConstIndicator {
+        fn is_frequent(&self, _: &Itemset) -> bool {
+            self.0
+        }
+    }
+
+    #[test]
+    fn majority_vote_indicator() {
+        // 2 yes / 3 no -> false.
+        let boost = MedianBoost::build_with(5, |i| ConstIndicator(i < 2));
+        assert!(!boost.is_frequent(&Itemset::empty()));
+        let boost = MedianBoost::build_with(5, |i| ConstIndicator(i < 3));
+        assert!(boost.is_frequent(&Itemset::empty()));
+    }
+}

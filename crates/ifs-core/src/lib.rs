@@ -1,0 +1,44 @@
+//! Itemset frequency sketches — the contribution surface of
+//! *Space Lower Bounds for Itemset Frequency Sketches* (PODS 2016).
+//!
+//! A *sketch* is a pair `(S, Q)`: a (randomized) summarization algorithm `S`
+//! mapping a database to a bit string, and a query procedure `Q` answering
+//! itemset frequency questions from the summary alone (Definitions 1–4 of the
+//! paper). Four contracts arise from crossing two axes:
+//!
+//! | | **Indicator** (`f_T > ε` vs `f_T < ε/2`) | **Estimator** (±ε) |
+//! |---|---|---|
+//! | **For-All** (all `k`-itemsets simultaneously w.p. 1−δ) | Def. 1 | Def. 2 |
+//! | **For-Each** (each itemset individually w.p. 1−δ) | Def. 3 | Def. 4 |
+//!
+//! This crate implements the paper's three naive algorithms, which it proves
+//! essentially optimal:
+//!
+//! * [`ReleaseDb`] (Definition 6) — store the database verbatim: `O(nd)` bits,
+//!   exact answers.
+//! * [`ReleaseAnswersIndicator`] / [`ReleaseAnswersEstimator`] (Definition 7)
+//!   — precompute all `C(d,k)` answers: one bit each for indicators,
+//!   `O(log 1/ε)` bits each for estimators.
+//! * [`Subsample`] (Definition 8) — uniform row sampling with replacement,
+//!   with the sample counts of Lemma 9.
+//!
+//! plus [`boosting`] (the For-Each → For-All median transform from the proof
+//! of Theorem 17) and [`bounds`] (closed-form upper bounds of Theorem 12 and
+//! lower bounds of Theorems 13–17, used by the experiment harness).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod boosting;
+pub mod bounds;
+mod params;
+mod release_answers;
+mod release_db;
+mod subsample;
+mod traits;
+
+pub use params::{Guarantee, SketchParams};
+pub use release_answers::{ReleaseAnswersEstimator, ReleaseAnswersIndicator};
+pub use release_db::ReleaseDb;
+pub use subsample::Subsample;
+pub use traits::{EstimatorAsIndicator, FrequencyEstimator, FrequencyIndicator, Sketch};

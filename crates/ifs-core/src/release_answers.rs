@@ -1,0 +1,204 @@
+//! RELEASE-ANSWERS (Definition 7): precompute and store every answer.
+//!
+//! There are `C(d, k)` possible `k`-itemset queries. The indicator variant
+//! stores one bit per query; the estimator variant stores each frequency
+//! quantized to a grid of spacing `2ε` (so the representation error is at
+//! most ε), which costs `⌈log₂(1/(2ε) + 1)⌉` bits per query — the paper's
+//! `O(C(d,k)·log(1/ε))`.
+//!
+//! Answers are indexed by the colexicographic rank of the itemset, so no
+//! itemset identifiers are stored at all. Both variants are *deterministic*
+//! and satisfy the For-All contracts with δ = 0.
+
+use crate::traits::{FrequencyEstimator, FrequencyIndicator, Sketch};
+use ifs_database::{Database, Itemset};
+use ifs_util::{bits, combin};
+
+/// Indicator answers for all `k`-itemsets: one bit per itemset.
+#[derive(Clone, Debug)]
+pub struct ReleaseAnswersIndicator {
+    k: usize,
+    d: usize,
+    words: Vec<u64>,
+    count: u64,
+}
+
+impl ReleaseAnswersIndicator {
+    /// Precomputes the threshold bit (`f_T ≥ ε`) for every `k`-itemset.
+    ///
+    /// Cost: one pass over the database per itemset — `O(C(d,k) · n)` subset
+    /// tests. Callers are expected to keep `C(d,k)` laptop-sized; the
+    /// experiments do.
+    pub fn build(db: &Database, k: usize, epsilon: f64) -> Self {
+        assert!(k >= 1 && k <= db.dims(), "k={k} out of range for d={}", db.dims());
+        assert!(epsilon > 0.0 && epsilon < 1.0);
+        let d = db.dims();
+        let count = combin::binomial_u64(d as u64, k as u64);
+        let mut words = vec![0u64; bits::words_for(count as usize).max(1)];
+        for (rank, comb) in combin::Combinations::new(d as u32, k as u32).enumerate() {
+            let t = Itemset::new(comb);
+            if db.frequency(&t) >= epsilon {
+                bits::set(&mut words, rank, true);
+            }
+        }
+        Self { k, d, words, count }
+    }
+
+    /// Number of stored answers (`C(d,k)`).
+    pub fn answer_count(&self) -> u64 {
+        self.count
+    }
+}
+
+impl Sketch for ReleaseAnswersIndicator {
+    fn size_bits(&self) -> u64 {
+        // One bit per answer; the (d, k) header is 2 machine words.
+        self.count + 128
+    }
+}
+
+impl FrequencyIndicator for ReleaseAnswersIndicator {
+    fn is_frequent(&self, itemset: &Itemset) -> bool {
+        assert_eq!(itemset.len(), self.k, "sketch answers only {}-itemsets", self.k);
+        assert!(itemset.max_item().is_none_or(|m| (m as usize) < self.d));
+        bits::get(&self.words, itemset.colex_rank() as usize)
+    }
+}
+
+/// Estimator answers for all `k`-itemsets, quantized to precision ε.
+#[derive(Clone, Debug)]
+pub struct ReleaseAnswersEstimator {
+    k: usize,
+    d: usize,
+    bits_per: u32,
+    levels: u64,
+    packed: Vec<u64>,
+    count: u64,
+}
+
+impl ReleaseAnswersEstimator {
+    /// Precomputes every `k`-itemset frequency rounded to the nearest point
+    /// of a uniform grid on `[0, 1]` with spacing `≤ 2ε`.
+    pub fn build(db: &Database, k: usize, epsilon: f64) -> Self {
+        assert!(k >= 1 && k <= db.dims());
+        assert!(epsilon > 0.0 && epsilon < 1.0);
+        let d = db.dims();
+        // levels - 1 intervals of width <= 2ε covering [0,1].
+        let levels = (1.0 / (2.0 * epsilon)).ceil() as u64 + 1;
+        let bits_per = 64 - (levels - 1).leading_zeros();
+        let count = combin::binomial_u64(d as u64, k as u64);
+        let total_bits = (count as usize) * (bits_per as usize);
+        let mut packed = vec![0u64; bits::words_for(total_bits).max(1)];
+        for (rank, comb) in combin::Combinations::new(d as u32, k as u32).enumerate() {
+            let t = Itemset::new(comb);
+            let f = db.frequency(&t);
+            let level = (f * (levels - 1) as f64).round() as u64;
+            let base = rank * bits_per as usize;
+            for b in 0..bits_per as usize {
+                if (level >> b) & 1 == 1 {
+                    bits::set(&mut packed, base + b, true);
+                }
+            }
+        }
+        Self { k, d, bits_per, levels, packed, count }
+    }
+
+    /// Bits stored per answer.
+    pub fn bits_per_answer(&self) -> u32 {
+        self.bits_per
+    }
+
+    /// Number of stored answers (`C(d,k)`).
+    pub fn answer_count(&self) -> u64 {
+        self.count
+    }
+}
+
+impl Sketch for ReleaseAnswersEstimator {
+    fn size_bits(&self) -> u64 {
+        self.count * self.bits_per as u64 + 128
+    }
+}
+
+impl FrequencyEstimator for ReleaseAnswersEstimator {
+    fn estimate(&self, itemset: &Itemset) -> f64 {
+        assert_eq!(itemset.len(), self.k, "sketch answers only {}-itemsets", self.k);
+        assert!(itemset.max_item().is_none_or(|m| (m as usize) < self.d));
+        let base = itemset.colex_rank() as usize * self.bits_per as usize;
+        let mut level = 0u64;
+        for b in 0..self.bits_per as usize {
+            if bits::get(&self.packed, base + b) {
+                level |= 1 << b;
+            }
+        }
+        level as f64 / (self.levels - 1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ifs_database::generators;
+    use ifs_util::Rng64;
+
+    #[test]
+    fn indicator_matches_exact_thresholding() {
+        let mut rng = Rng64::seeded(21);
+        let db = generators::uniform(200, 10, 0.3, &mut rng);
+        let eps = 0.15;
+        let s = ReleaseAnswersIndicator::build(&db, 2, eps);
+        for comb in combin::Combinations::new(10, 2) {
+            let t = Itemset::new(comb);
+            assert_eq!(s.is_frequent(&t), db.frequency(&t) >= eps, "itemset {t}");
+        }
+    }
+
+    #[test]
+    fn estimator_error_within_epsilon() {
+        let mut rng = Rng64::seeded(22);
+        let db = generators::uniform(173, 9, 0.5, &mut rng);
+        let eps = 0.07;
+        let s = ReleaseAnswersEstimator::build(&db, 3, eps);
+        let mut worst: f64 = 0.0;
+        for comb in combin::Combinations::new(9, 3) {
+            let t = Itemset::new(comb);
+            worst = worst.max((s.estimate(&t) - db.frequency(&t)).abs());
+        }
+        assert!(worst <= eps + 1e-12, "worst quantization error {worst} > ε={eps}");
+    }
+
+    #[test]
+    fn estimator_size_scales_with_log_eps() {
+        let db = Database::zeros(10, 8);
+        let coarse = ReleaseAnswersEstimator::build(&db, 2, 0.25);
+        let fine = ReleaseAnswersEstimator::build(&db, 2, 1.0 / 1024.0);
+        assert!(fine.bits_per_answer() > coarse.bits_per_answer());
+        assert!(fine.size_bits() > coarse.size_bits());
+        assert_eq!(coarse.answer_count(), 28);
+    }
+
+    #[test]
+    fn indicator_size_is_one_bit_per_itemset() {
+        let db = Database::zeros(10, 12);
+        let s = ReleaseAnswersIndicator::build(&db, 3, 0.1);
+        assert_eq!(s.answer_count(), 220);
+        assert_eq!(s.size_bits(), 220 + 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "answers only")]
+    fn wrong_cardinality_panics() {
+        let db = Database::zeros(5, 6);
+        let s = ReleaseAnswersIndicator::build(&db, 2, 0.1);
+        s.is_frequent(&Itemset::singleton(1));
+    }
+
+    #[test]
+    fn extreme_frequencies_quantize_exactly() {
+        // All-ones and all-zeros columns hit grid endpoints exactly.
+        let db = Database::from_fn(50, 4, |_, c| c == 0);
+        let s = ReleaseAnswersEstimator::build(&db, 1, 0.1);
+        assert_eq!(s.estimate(&Itemset::singleton(0)), 1.0);
+        assert_eq!(s.estimate(&Itemset::singleton(1)), 0.0);
+    }
+}

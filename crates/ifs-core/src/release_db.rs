@@ -1,0 +1,78 @@
+//! RELEASE-DB (Definition 6): the identity sketch.
+
+use crate::traits::{FrequencyEstimator, FrequencyIndicator, Sketch};
+use ifs_database::{serialize, Database, Itemset};
+
+/// Releases the database verbatim; queries are exact.
+///
+/// Space is `O(nd)` bits. Exactness means RELEASE-DB satisfies all four
+/// contracts of Definitions 1–4 for every `(k, ε, δ)` simultaneously; the
+/// indicator is answered with threshold `ε` against the *exact* frequency.
+#[derive(Clone, Debug)]
+pub struct ReleaseDb {
+    db: Database,
+    epsilon: f64,
+}
+
+impl ReleaseDb {
+    /// Builds the sketch (a copy of the database) for threshold ε.
+    pub fn build(db: &Database, epsilon: f64) -> Self {
+        assert!(epsilon > 0.0 && epsilon < 1.0);
+        Self { db: db.clone(), epsilon }
+    }
+
+    /// The stored database.
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+}
+
+impl Sketch for ReleaseDb {
+    fn size_bits(&self) -> u64 {
+        serialize::size_bits(&self.db)
+    }
+}
+
+impl FrequencyEstimator for ReleaseDb {
+    fn estimate(&self, itemset: &Itemset) -> f64 {
+        self.db.frequency(itemset)
+    }
+}
+
+impl FrequencyIndicator for ReleaseDb {
+    fn is_frequent(&self, itemset: &Itemset) -> bool {
+        // Exact frequency: any threshold inside (ε/2, ε] meets Definition 1;
+        // we use ≥ ε so "frequent" matches the common f_T ≥ ε convention.
+        self.db.frequency(itemset) >= self.epsilon
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn estimates_are_exact() {
+        let db = Database::from_rows(4, &[vec![0, 1], vec![0], vec![1], vec![0, 1]]);
+        let s = ReleaseDb::build(&db, 0.3);
+        let t = Itemset::new(vec![0, 1]);
+        assert_eq!(s.estimate(&t), db.frequency(&t));
+        assert_eq!(s.estimate(&t), 0.5);
+    }
+
+    #[test]
+    fn indicator_uses_exact_threshold() {
+        let db = Database::from_rows(4, &[vec![0], vec![0], vec![1], vec![2]]);
+        let s = ReleaseDb::build(&db, 0.5);
+        assert!(s.is_frequent(&Itemset::singleton(0))); // f = 0.5 = ε
+        assert!(!s.is_frequent(&Itemset::singleton(1))); // f = 0.25
+    }
+
+    #[test]
+    fn size_is_serialized_size() {
+        let db = Database::zeros(10, 100);
+        let s = ReleaseDb::build(&db, 0.1);
+        assert_eq!(s.size_bits(), serialize::size_bits(&db));
+        assert_eq!(s.size_bits(), (20 + 10 * 2 * 8) * 8);
+    }
+}

@@ -1,0 +1,180 @@
+//! SUBSAMPLE (Definition 8): uniform row sampling with replacement.
+//!
+//! The paper's headline upper bound — and, by its lower bounds, an
+//! essentially optimal one. The sketch is simply `s` rows drawn uniformly
+//! with replacement; queries evaluate frequencies on the sample. Lemma 9
+//! gives the sample counts for each of the four guarantees:
+//!
+//! | Guarantee | rows `s` |
+//! |---|---|
+//! | For-Each-Indicator | `O(ε⁻¹ log(1/δ))` |
+//! | For-Each-Estimator | `O(ε⁻² log(1/δ))` |
+//! | For-All-Indicator | `O(ε⁻¹ log(C(d,k)/δ))` |
+//! | For-All-Estimator | `O(ε⁻² log(C(d,k)/δ))` |
+
+use crate::params::{Guarantee, SketchParams};
+use crate::traits::{FrequencyEstimator, FrequencyIndicator, Sketch};
+use ifs_database::{serialize, Database, Itemset};
+use ifs_util::{tail, Rng64};
+
+/// A uniform with-replacement row sample of the database.
+#[derive(Clone, Debug)]
+pub struct Subsample {
+    sample: Database,
+    epsilon: f64,
+}
+
+impl Subsample {
+    /// Builds a sketch for the given guarantee, choosing the sample count
+    /// from Lemma 9.
+    pub fn build(
+        db: &Database,
+        params: &SketchParams,
+        guarantee: Guarantee,
+        rng: &mut Rng64,
+    ) -> Self {
+        let s = Self::sample_count(db.dims(), params, guarantee);
+        Self::with_sample_count(db, s, params.epsilon, rng)
+    }
+
+    /// Builds a sketch with an explicit number of sampled rows — the knob the
+    /// lower-bound experiments turn to trade space against accuracy.
+    pub fn with_sample_count(db: &Database, s: usize, epsilon: f64, rng: &mut Rng64) -> Self {
+        assert!(db.rows() > 0, "cannot sample an empty database");
+        let indices: Vec<usize> = (0..s).map(|_| rng.below(db.rows())).collect();
+        Self { sample: db.select_rows(&indices), epsilon }
+    }
+
+    /// Lemma 9's sample count for the guarantee. For the indicator variants
+    /// the estimate must resolve the threshold gap `[ε/2, ε]`, which is what
+    /// the `16/ε` constant in [`ifs_util::tail::samples_foreach_indicator`]
+    /// accounts for.
+    pub fn sample_count(d: usize, params: &SketchParams, guarantee: Guarantee) -> usize {
+        let (eps, delta) = (params.epsilon, params.delta);
+        let s = match guarantee {
+            Guarantee::ForEachIndicator => tail::samples_foreach_indicator(eps, delta),
+            Guarantee::ForEachEstimator => tail::samples_foreach_estimator(eps, delta),
+            Guarantee::ForAllIndicator => {
+                tail::samples_forall_indicator(d as u64, params.k as u64, eps, delta)
+            }
+            Guarantee::ForAllEstimator => {
+                tail::samples_forall_estimator(d as u64, params.k as u64, eps, delta)
+            }
+        };
+        s as usize
+    }
+
+    /// Number of sampled rows.
+    pub fn rows(&self) -> usize {
+        self.sample.rows()
+    }
+
+    /// The sampled rows as a database.
+    pub fn sample(&self) -> &Database {
+        &self.sample
+    }
+}
+
+impl Sketch for Subsample {
+    fn size_bits(&self) -> u64 {
+        serialize::size_bits(&self.sample)
+    }
+}
+
+impl FrequencyEstimator for Subsample {
+    fn estimate(&self, itemset: &Itemset) -> f64 {
+        self.sample.frequency(itemset)
+    }
+}
+
+impl FrequencyIndicator for Subsample {
+    fn is_frequent(&self, itemset: &Itemset) -> bool {
+        self.sample.frequency(itemset) >= 0.75 * self.epsilon
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ifs_database::generators::{self, Plant};
+
+    #[test]
+    fn estimator_accuracy_on_planted_itemset() {
+        let mut rng = Rng64::seeded(31);
+        let t = Itemset::new(vec![1, 5]);
+        let db = generators::planted(
+            50_000,
+            16,
+            0.02,
+            &[Plant { itemset: t.clone(), frequency: 0.3 }],
+            &mut rng,
+        );
+        let truth = db.frequency(&t);
+        let params = SketchParams::new(2, 0.05, 0.05);
+        let s = Subsample::build(&db, &params, Guarantee::ForEachEstimator, &mut rng);
+        let est = s.estimate(&t);
+        assert!((est - truth).abs() <= params.epsilon, "est {est} truth {truth}");
+    }
+
+    #[test]
+    fn indicator_separates_frequent_from_rare() {
+        let mut rng = Rng64::seeded(32);
+        let hot = Itemset::new(vec![0, 1]);
+        let cold = Itemset::new(vec![10, 11]);
+        let db = generators::planted(
+            20_000,
+            12,
+            0.0,
+            &[
+                Plant { itemset: hot.clone(), frequency: 0.25 },
+                Plant { itemset: cold.clone(), frequency: 0.01 },
+            ],
+            &mut rng,
+        );
+        let params = SketchParams::new(2, 0.1, 0.05);
+        let s = Subsample::build(&db, &params, Guarantee::ForEachIndicator, &mut rng);
+        assert!(s.is_frequent(&hot));
+        assert!(!s.is_frequent(&cold));
+    }
+
+    #[test]
+    fn sample_counts_ordered_by_strength() {
+        // ε must be below 1/16 for the 1/ε² estimator cost to dominate the
+        // indicator's 16/ε constant.
+        let params = SketchParams::new(3, 0.01, 0.05);
+        let fe_i = Subsample::sample_count(64, &params, Guarantee::ForEachIndicator);
+        let fe_e = Subsample::sample_count(64, &params, Guarantee::ForEachEstimator);
+        let fa_i = Subsample::sample_count(64, &params, Guarantee::ForAllIndicator);
+        let fa_e = Subsample::sample_count(64, &params, Guarantee::ForAllEstimator);
+        assert!(fa_i > fe_i, "union bound costs samples");
+        assert!(fa_e > fe_e);
+        assert!(fe_e > fe_i, "estimator (1/ε²) beats indicator (1/ε) in cost");
+    }
+
+    #[test]
+    fn size_independent_of_n() {
+        let mut rng = Rng64::seeded(33);
+        let small = generators::uniform(1_000, 32, 0.2, &mut rng);
+        let large = generators::uniform(50_000, 32, 0.2, &mut rng);
+        let params = SketchParams::new(2, 0.1, 0.1);
+        let s1 = Subsample::build(&small, &params, Guarantee::ForEachEstimator, &mut rng);
+        let s2 = Subsample::build(&large, &params, Guarantee::ForEachEstimator, &mut rng);
+        assert_eq!(s1.size_bits(), s2.size_bits(), "sketch size must not grow with n");
+    }
+
+    #[test]
+    fn explicit_sample_count_is_respected() {
+        let mut rng = Rng64::seeded(34);
+        let db = generators::uniform(100, 8, 0.5, &mut rng);
+        let s = Subsample::with_sample_count(&db, 17, 0.1, &mut rng);
+        assert_eq!(s.rows(), 17);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty database")]
+    fn sampling_empty_db_panics() {
+        let mut rng = Rng64::seeded(35);
+        let db = Database::zeros(0, 4);
+        Subsample::with_sample_count(&db, 5, 0.1, &mut rng);
+    }
+}

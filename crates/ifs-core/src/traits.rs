@@ -1,0 +1,127 @@
+//! The query-side contracts shared by every sketch.
+
+use ifs_database::Itemset;
+
+/// Anything with a measurable summary size, in bits.
+///
+/// The paper's space complexity `|S(n,d,k,ε,δ)|` (Definition 5) is the
+/// maximum of this over databases; experiments report the realized size.
+pub trait Sketch {
+    /// Size of the serialized summary in bits.
+    fn size_bits(&self) -> u64;
+}
+
+/// Query procedure of an **estimator** sketch: returns `Q(S, T) ∈ [0, 1]`.
+pub trait FrequencyEstimator: Sketch {
+    /// Estimate of `f_T(D)`.
+    fn estimate(&self, itemset: &Itemset) -> f64;
+}
+
+/// Query procedure of an **indicator** sketch: returns the threshold bit.
+pub trait FrequencyIndicator: Sketch {
+    /// `true` must be returned when `f_T > ε`; `false` when `f_T < ε/2`
+    /// (either answer is acceptable in between).
+    fn is_frequent(&self, itemset: &Itemset) -> bool;
+}
+
+/// Adapter: any estimator answers indicator queries by thresholding at the
+/// dead-zone midpoint `3ε/4`.
+///
+/// If the estimator's additive error is at most `ε/4`, the adapter meets the
+/// indicator contract exactly: `f_T > ε` implies an estimate `> 3ε/4`, and
+/// `f_T < ε/2` implies an estimate `< 3ε/4`.
+pub struct EstimatorAsIndicator<E> {
+    inner: E,
+    threshold: f64,
+}
+
+impl<E: FrequencyEstimator> EstimatorAsIndicator<E> {
+    /// Wraps `inner`, thresholding at `3ε/4` for the given ε.
+    pub fn new(inner: E, epsilon: f64) -> Self {
+        Self { inner, threshold: 0.75 * epsilon }
+    }
+
+    /// The wrapped estimator.
+    pub fn inner(&self) -> &E {
+        &self.inner
+    }
+
+    /// The decision threshold in use.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+}
+
+impl<E: FrequencyEstimator> Sketch for EstimatorAsIndicator<E> {
+    fn size_bits(&self) -> u64 {
+        self.inner.size_bits()
+    }
+}
+
+impl<E: FrequencyEstimator> FrequencyIndicator for EstimatorAsIndicator<E> {
+    fn is_frequent(&self, itemset: &Itemset) -> bool {
+        self.inner.estimate(itemset) >= self.threshold
+    }
+}
+
+/// Blanket impls so `&S` can be passed wherever a sketch is expected.
+impl<S: Sketch + ?Sized> Sketch for &S {
+    fn size_bits(&self) -> u64 {
+        (**self).size_bits()
+    }
+}
+
+impl<S: FrequencyEstimator + ?Sized> FrequencyEstimator for &S {
+    fn estimate(&self, itemset: &Itemset) -> f64 {
+        (**self).estimate(itemset)
+    }
+}
+
+impl<S: FrequencyIndicator + ?Sized> FrequencyIndicator for &S {
+    fn is_frequent(&self, itemset: &Itemset) -> bool {
+        (**self).is_frequent(itemset)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Fixed(f64);
+
+    impl Sketch for Fixed {
+        fn size_bits(&self) -> u64 {
+            64
+        }
+    }
+
+    impl FrequencyEstimator for Fixed {
+        fn estimate(&self, _: &Itemset) -> f64 {
+            self.0
+        }
+    }
+
+    #[test]
+    fn adapter_thresholds_at_three_quarters_eps() {
+        let t = Itemset::singleton(0);
+        let eps = 0.2;
+        assert!(EstimatorAsIndicator::new(Fixed(0.151), eps).is_frequent(&t));
+        assert!(!EstimatorAsIndicator::new(Fixed(0.149), eps).is_frequent(&t));
+    }
+
+    #[test]
+    fn adapter_preserves_size() {
+        let a = EstimatorAsIndicator::new(Fixed(0.5), 0.1);
+        assert_eq!(a.size_bits(), 64);
+        assert!((a.threshold() - 0.075).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reference_blanket_impls() {
+        let f = Fixed(0.9);
+        fn takes_est(e: impl FrequencyEstimator) -> f64 {
+            e.estimate(&Itemset::empty())
+        }
+        assert_eq!(takes_est(&f), 0.9);
+    }
+}

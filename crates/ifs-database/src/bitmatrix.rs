@@ -1,0 +1,268 @@
+//! Packed row-major bit matrix.
+
+use ifs_util::bits;
+
+/// A dense `rows × cols` bit matrix, each row packed into `u64` words.
+///
+/// This is the storage layer for [`crate::Database`]. Rows are padded to a
+/// whole number of words; padding bits are kept at zero so word-wise subset
+/// tests need no masking.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BitMatrix {
+    rows: usize,
+    cols: usize,
+    words_per_row: usize,
+    data: Vec<u64>,
+}
+
+impl BitMatrix {
+    /// An all-zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        let words_per_row = bits::words_for(cols).max(1);
+        Self { rows, cols, words_per_row, data: vec![0; rows * words_per_row] }
+    }
+
+    /// Builds from a closure giving each cell.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> bool) -> Self {
+        let mut m = Self::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                if f(r, c) {
+                    m.set(r, c, true);
+                }
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Words used per row (layout detail needed by [`crate::Itemset`] masks).
+    #[inline]
+    pub fn words_per_row(&self) -> usize {
+        self.words_per_row
+    }
+
+    /// Reads cell `(r, c)`.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> bool {
+        debug_assert!(r < self.rows && c < self.cols);
+        bits::get(self.row_words(r), c)
+    }
+
+    /// Writes cell `(r, c)`.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: bool) {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of {}x{}", self.rows, self.cols);
+        let start = r * self.words_per_row;
+        bits::set(&mut self.data[start..start + self.words_per_row], c, v);
+    }
+
+    /// The packed words of row `r`.
+    #[inline]
+    pub fn row_words(&self, r: usize) -> &[u64] {
+        &self.data[r * self.words_per_row..(r + 1) * self.words_per_row]
+    }
+
+    /// Overwrites row `r` from packed words (must match layout; tail bits of
+    /// the final word beyond `cols` must be zero).
+    pub fn set_row_words(&mut self, r: usize, words: &[u64]) {
+        assert_eq!(words.len(), self.words_per_row);
+        if self.cols % 64 != 0 {
+            debug_assert_eq!(words[self.words_per_row - 1] >> (self.cols % 64), 0);
+        }
+        self.data[r * self.words_per_row..(r + 1) * self.words_per_row].copy_from_slice(words);
+    }
+
+    /// True iff row `r` contains every set bit of `mask` (same layout).
+    #[inline]
+    pub fn row_contains_mask(&self, r: usize, mask: &[u64]) -> bool {
+        bits::is_subset(mask, self.row_words(r))
+    }
+
+    /// Number of rows containing `mask`.
+    pub fn count_rows_containing(&self, mask: &[u64]) -> usize {
+        (0..self.rows).filter(|&r| self.row_contains_mask(r, mask)).count()
+    }
+
+    /// Extracts column `c` as a packed bit-vector over rows.
+    pub fn column(&self, c: usize) -> Vec<u64> {
+        assert!(c < self.cols);
+        let mut out = vec![0u64; bits::words_for(self.rows).max(1)];
+        for r in 0..self.rows {
+            if self.get(r, c) {
+                bits::set(&mut out, r, true);
+            }
+        }
+        out
+    }
+
+    /// Number of ones in row `r`.
+    #[inline]
+    pub fn row_weight(&self, r: usize) -> usize {
+        bits::count_ones(self.row_words(r))
+    }
+
+    /// Total number of ones.
+    pub fn total_weight(&self) -> usize {
+        bits::count_ones(&self.data)
+    }
+
+    /// Horizontal concatenation: `self` then `other`, row-wise.
+    pub fn hconcat(&self, other: &BitMatrix) -> BitMatrix {
+        assert_eq!(self.rows, other.rows, "hconcat requires equal row counts");
+        let mut out = BitMatrix::zeros(self.rows, self.cols + other.cols);
+        for r in 0..self.rows {
+            for c in bits::ones(self.row_words(r)) {
+                out.set(r, c, true);
+            }
+            for c in bits::ones(other.row_words(r)) {
+                out.set(r, self.cols + c, true);
+            }
+        }
+        out
+    }
+
+    /// Vertical concatenation: rows of `self` then rows of `other`.
+    pub fn vconcat(&self, other: &BitMatrix) -> BitMatrix {
+        assert_eq!(self.cols, other.cols, "vconcat requires equal column counts");
+        let mut out = BitMatrix::zeros(self.rows + other.rows, self.cols);
+        for r in 0..self.rows {
+            out.set_row_words(r, self.row_words(r));
+        }
+        for r in 0..other.rows {
+            out.set_row_words(self.rows + r, other.row_words(r));
+        }
+        out
+    }
+
+    /// Raw packed storage (row-major), exposed for serialization.
+    pub fn raw_words(&self) -> &[u64] {
+        &self.data
+    }
+
+    /// Rebuilds from raw storage produced by [`Self::raw_words`].
+    pub fn from_raw(rows: usize, cols: usize, data: Vec<u64>) -> Self {
+        let words_per_row = bits::words_for(cols).max(1);
+        assert_eq!(data.len(), rows * words_per_row, "raw storage has wrong length");
+        Self { rows, cols, words_per_row, data }
+    }
+}
+
+impl std::fmt::Debug for BitMatrix {
+    fn fmt(&self, fm: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(fm, "BitMatrix {}x{}", self.rows, self.cols)?;
+        let show_rows = self.rows.min(16);
+        for r in 0..show_rows {
+            let line: String =
+                (0..self.cols.min(80)).map(|c| if self.get(r, c) { '1' } else { '0' }).collect();
+            writeln!(fm, "  {line}{}", if self.cols > 80 { "…" } else { "" })?;
+        }
+        if self.rows > show_rows {
+            writeln!(fm, "  … ({} more rows)", self.rows - show_rows)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_then_set_get() {
+        let mut m = BitMatrix::zeros(3, 100);
+        assert!(!m.get(2, 99));
+        m.set(2, 99, true);
+        assert!(m.get(2, 99));
+        assert!(!m.get(1, 99));
+        assert_eq!(m.total_weight(), 1);
+    }
+
+    #[test]
+    fn from_fn_diagonal() {
+        let m = BitMatrix::from_fn(5, 5, |r, c| r == c);
+        for r in 0..5 {
+            for c in 0..5 {
+                assert_eq!(m.get(r, c), r == c);
+            }
+        }
+        assert_eq!(m.total_weight(), 5);
+    }
+
+    #[test]
+    fn row_contains_mask_semantics() {
+        let m = BitMatrix::from_fn(2, 70, |r, c| r == 0 || c % 2 == 0);
+        let mut mask = vec![0u64; m.words_per_row()];
+        ifs_util::bits::set(&mut mask, 3, true);
+        ifs_util::bits::set(&mut mask, 69, true);
+        assert!(m.row_contains_mask(0, &mask)); // row 0 is all ones
+        assert!(!m.row_contains_mask(1, &mask)); // 3 and 69 are odd columns
+        assert_eq!(m.count_rows_containing(&mask), 1);
+    }
+
+    #[test]
+    fn column_extraction() {
+        let m = BitMatrix::from_fn(130, 4, |r, c| (r + c) % 3 == 0);
+        let col = m.column(2);
+        for r in 0..130 {
+            assert_eq!(ifs_util::bits::get(&col, r), (r + 2) % 3 == 0);
+        }
+    }
+
+    #[test]
+    fn hconcat_layout() {
+        let a = BitMatrix::from_fn(2, 3, |r, c| r == 0 && c == 1);
+        let b = BitMatrix::from_fn(2, 66, |r, c| r == 1 && c == 65);
+        let m = a.hconcat(&b);
+        assert_eq!(m.cols(), 69);
+        assert!(m.get(0, 1));
+        assert!(m.get(1, 3 + 65));
+        assert_eq!(m.total_weight(), 2);
+    }
+
+    #[test]
+    fn vconcat_layout() {
+        let a = BitMatrix::from_fn(2, 5, |_, _| true);
+        let b = BitMatrix::from_fn(3, 5, |_, _| false);
+        let m = a.vconcat(&b);
+        assert_eq!(m.rows(), 5);
+        assert_eq!(m.row_weight(0), 5);
+        assert_eq!(m.row_weight(4), 0);
+    }
+
+    #[test]
+    fn raw_roundtrip() {
+        let m = BitMatrix::from_fn(7, 67, |r, c| (r * 31 + c) % 5 == 0);
+        let raw = m.raw_words().to_vec();
+        let back = BitMatrix::from_raw(7, 67, raw);
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn zero_column_matrix() {
+        let m = BitMatrix::zeros(4, 0);
+        assert_eq!(m.rows(), 4);
+        assert_eq!(m.cols(), 0);
+        // Every row trivially contains the empty mask.
+        let mask = vec![0u64; m.words_per_row()];
+        assert_eq!(m.count_rows_containing(&mask), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn set_out_of_range_panics() {
+        let mut m = BitMatrix::zeros(2, 2);
+        m.set(2, 0, true);
+    }
+}

@@ -1,0 +1,243 @@
+//! The `Database` type: rows, dimensions, and frequency queries.
+
+use crate::{BitMatrix, Itemset};
+
+/// A binary database `D ∈ ({0,1}^d)^n` (§1.3 of the paper).
+///
+/// Thin semantic wrapper over [`BitMatrix`]: `n = rows()`, `d = dims()`. The
+/// central query is [`Database::frequency`], the fraction of rows containing
+/// an itemset — `f_T(D) = (1/n)·Σ_i 1{T ⊆ D(i)}`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Database {
+    matrix: BitMatrix,
+}
+
+impl Database {
+    /// Wraps an existing matrix (rows are database records).
+    pub fn from_matrix(matrix: BitMatrix) -> Self {
+        Self { matrix }
+    }
+
+    /// An all-zero database with `n` rows and `d` attributes.
+    pub fn zeros(n: usize, d: usize) -> Self {
+        Self { matrix: BitMatrix::zeros(n, d) }
+    }
+
+    /// Builds from explicit rows given as attribute-index lists.
+    ///
+    /// `d` is the attribute count; indices must be `< d`.
+    pub fn from_rows(d: usize, rows: &[Vec<u32>]) -> Self {
+        let mut m = BitMatrix::zeros(rows.len(), d);
+        for (r, row) in rows.iter().enumerate() {
+            for &c in row {
+                m.set(r, c as usize, true);
+            }
+        }
+        Self { matrix: m }
+    }
+
+    /// Builds from a cell predicate.
+    pub fn from_fn(n: usize, d: usize, f: impl FnMut(usize, usize) -> bool) -> Self {
+        Self { matrix: BitMatrix::from_fn(n, d, f) }
+    }
+
+    /// Number of rows `n`.
+    pub fn rows(&self) -> usize {
+        self.matrix.rows()
+    }
+
+    /// Number of attributes `d`.
+    pub fn dims(&self) -> usize {
+        self.matrix.cols()
+    }
+
+    /// The underlying packed matrix.
+    pub fn matrix(&self) -> &BitMatrix {
+        &self.matrix
+    }
+
+    /// Mutable access to the underlying matrix.
+    pub fn matrix_mut(&mut self) -> &mut BitMatrix {
+        &mut self.matrix
+    }
+
+    /// Cell accessor `D(i, j)`.
+    pub fn get(&self, row: usize, col: usize) -> bool {
+        self.matrix.get(row, col)
+    }
+
+    /// True iff row `i` contains itemset `T` (all columns of `T` are 1).
+    pub fn row_contains(&self, row: usize, itemset: &Itemset) -> bool {
+        let mask = itemset.mask(self.dims(), self.matrix.words_per_row());
+        self.matrix.row_contains_mask(row, &mask)
+    }
+
+    /// Support of `T`: the number of rows containing it.
+    pub fn support(&self, itemset: &Itemset) -> usize {
+        let mask = itemset.mask(self.dims(), self.matrix.words_per_row());
+        self.matrix.count_rows_containing(&mask)
+    }
+
+    /// Frequency `f_T(D)` ∈ [0, 1]. Returns 0 for an empty database.
+    pub fn frequency(&self, itemset: &Itemset) -> f64 {
+        if self.rows() == 0 {
+            return 0.0;
+        }
+        self.support(itemset) as f64 / self.rows() as f64
+    }
+
+    /// Pre-resolves an itemset into a packed mask for repeated row tests.
+    pub fn mask_of(&self, itemset: &Itemset) -> Vec<u64> {
+        itemset.mask(self.dims(), self.matrix.words_per_row())
+    }
+
+    /// Support computed against a pre-resolved mask (hot path for the
+    /// RELEASE-ANSWERS builder, which touches every `k`-itemset).
+    pub fn support_mask(&self, mask: &[u64]) -> usize {
+        self.matrix.count_rows_containing(mask)
+    }
+
+    /// The itemset view of row `i` (its set of 1-columns).
+    pub fn row_itemset(&self, row: usize) -> Itemset {
+        ifs_util::bits::ones(self.matrix.row_words(row)).map(|i| i as u32).collect()
+    }
+
+    /// A database consisting of the selected rows (indices may repeat —
+    /// exactly what `SUBSAMPLE` needs for sampling with replacement).
+    pub fn select_rows(&self, indices: &[usize]) -> Database {
+        let mut m = BitMatrix::zeros(indices.len(), self.dims());
+        for (out_r, &r) in indices.iter().enumerate() {
+            m.set_row_words(out_r, self.matrix.row_words(r));
+        }
+        Database::from_matrix(m)
+    }
+
+    /// Vertically stacks two databases over the same attribute set.
+    pub fn stack(&self, other: &Database) -> Database {
+        Database::from_matrix(self.matrix.vconcat(other.matrix()))
+    }
+
+    /// Horizontally concatenates attributes of two databases with equal `n`.
+    pub fn join_columns(&self, other: &Database) -> Database {
+        Database::from_matrix(self.matrix.hconcat(other.matrix()))
+    }
+
+    /// Repeats every row `times` times (used by the Theorem 13 construction,
+    /// which duplicates each of the `1/ε` distinct rows `⌊nε⌋` times).
+    pub fn repeat_rows(&self, times: usize) -> Database {
+        let mut m = BitMatrix::zeros(self.rows() * times, self.dims());
+        for r in 0..self.rows() {
+            for t in 0..times {
+                m.set_row_words(r * times + t, self.matrix.row_words(r));
+            }
+        }
+        Database::from_matrix(m)
+    }
+
+    /// Density: fraction of 1-cells.
+    pub fn density(&self) -> f64 {
+        let cells = self.rows() * self.dims();
+        if cells == 0 {
+            return 0.0;
+        }
+        self.matrix.total_weight() as f64 / cells as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Database {
+        // 4 rows over 5 attributes.
+        Database::from_rows(
+            5,
+            &[vec![0, 1, 2], vec![0, 1], vec![1, 2, 3], vec![4]],
+        )
+    }
+
+    #[test]
+    fn dimensions() {
+        let db = toy();
+        assert_eq!(db.rows(), 4);
+        assert_eq!(db.dims(), 5);
+    }
+
+    #[test]
+    fn frequency_matches_manual_count() {
+        let db = toy();
+        assert_eq!(db.frequency(&Itemset::new(vec![0, 1])), 0.5); // rows 0,1
+        assert_eq!(db.frequency(&Itemset::new(vec![1])), 0.75); // rows 0,1,2
+        assert_eq!(db.frequency(&Itemset::new(vec![0, 3])), 0.0);
+        assert_eq!(db.frequency(&Itemset::empty()), 1.0); // empty set in all rows
+    }
+
+    #[test]
+    fn support_and_row_contains() {
+        let db = toy();
+        let t = Itemset::new(vec![1, 2]);
+        assert_eq!(db.support(&t), 2);
+        assert!(db.row_contains(0, &t));
+        assert!(!db.row_contains(1, &t));
+    }
+
+    #[test]
+    fn empty_database_frequency_zero() {
+        let db = Database::zeros(0, 8);
+        assert_eq!(db.frequency(&Itemset::singleton(0)), 0.0);
+    }
+
+    #[test]
+    fn row_itemset_roundtrip() {
+        let db = toy();
+        assert_eq!(db.row_itemset(2), Itemset::new(vec![1, 2, 3]));
+        assert_eq!(db.row_itemset(3), Itemset::singleton(4));
+    }
+
+    #[test]
+    fn select_rows_with_replacement() {
+        let db = toy();
+        let s = db.select_rows(&[3, 3, 0]);
+        assert_eq!(s.rows(), 3);
+        assert_eq!(s.row_itemset(0), Itemset::singleton(4));
+        assert_eq!(s.row_itemset(1), Itemset::singleton(4));
+        assert_eq!(s.row_itemset(2), Itemset::new(vec![0, 1, 2]));
+    }
+
+    #[test]
+    fn repeat_rows_scales_support_not_frequency() {
+        let db = toy();
+        let t = Itemset::new(vec![0, 1]);
+        let rep = db.repeat_rows(3);
+        assert_eq!(rep.rows(), 12);
+        assert_eq!(rep.support(&t), 6);
+        assert!((rep.frequency(&t) - db.frequency(&t)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stack_and_join() {
+        let a = Database::from_rows(3, &[vec![0], vec![1]]);
+        let b = Database::from_rows(3, &[vec![2], vec![0, 1, 2]]);
+        let v = a.stack(&b);
+        assert_eq!(v.rows(), 4);
+        assert_eq!(v.dims(), 3);
+        let h = a.join_columns(&b);
+        assert_eq!(h.rows(), 2);
+        assert_eq!(h.dims(), 6);
+        assert!(h.get(0, 0) && h.get(0, 3 + 2));
+    }
+
+    #[test]
+    fn density_counts_ones() {
+        let db = toy();
+        assert!((db.density() - 9.0 / 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mask_cache_equivalent_to_direct() {
+        let db = toy();
+        let t = Itemset::new(vec![1, 2]);
+        let mask = db.mask_of(&t);
+        assert_eq!(db.support_mask(&mask), db.support(&t));
+    }
+}

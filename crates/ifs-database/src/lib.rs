@@ -1,0 +1,36 @@
+//! Binary databases and itemset frequency queries.
+//!
+//! The paper's object of study is a binary database `D ∈ ({0,1}^d)^n` of `n`
+//! rows over `d` attributes (§1.3). An itemset `T ⊆ [d]` is *contained* in a
+//! row if the row has a 1 in every column of `T`, and its frequency `f_T(D)`
+//! is the fraction of rows containing it.
+//!
+//! This crate provides:
+//!
+//! * [`BitMatrix`] — a packed row-major bit matrix (one `u64` word per 64
+//!   columns) with subset tests done word-wise.
+//! * [`Itemset`] — a sorted attribute set with a packed-mask representation
+//!   aligned to the matrix layout, so `row ⊇ T` is a handful of AND/CMP ops.
+//! * [`Database`] — rows + dimension bookkeeping + frequency/support queries
+//!   and column views.
+//! * [`generators`] — workload generators: i.i.d. Bernoulli databases,
+//!   planted itemsets, Zipf-popularity market-basket data with correlated
+//!   bundles, and the binary decomposition of categorical attributes
+//!   described in footnote 1 of the paper.
+//! * [`serialize`] — a self-describing binary wire format. Serialized size is
+//!   what the experiments mean by "the size of RELEASE-DB / SUBSAMPLE
+//!   sketches in bits".
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bitmatrix;
+mod database;
+pub mod generators;
+mod itemset;
+pub mod serialize;
+pub mod stats;
+
+pub use bitmatrix::BitMatrix;
+pub use database::Database;
+pub use itemset::Itemset;

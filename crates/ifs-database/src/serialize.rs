@@ -1,0 +1,142 @@
+//! Binary wire format for databases.
+//!
+//! Space accounting is the whole point of the paper, so "sketch size" must be
+//! a concrete number of bits. RELEASE-DB and SUBSAMPLE sketches serialize via
+//! this module; their reported size is the byte length of the encoding.
+//!
+//! Format (little-endian):
+//!
+//! ```text
+//! magic  u32  = 0x4946_5344 ("IFSD")
+//! rows   u64
+//! dims   u64
+//! data   rows * words_per_row * 8 bytes of packed row words
+//! ```
+
+use crate::{BitMatrix, Database};
+
+/// Magic header marking a serialized database.
+pub const MAGIC: u32 = 0x4946_5344;
+
+/// Errors from [`from_bytes`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Input shorter than the fixed header.
+    Truncated,
+    /// Header magic did not match.
+    BadMagic(u32),
+    /// Payload length disagrees with the header dimensions.
+    LengthMismatch {
+        /// Bytes the header implies.
+        expected: usize,
+        /// Bytes actually present.
+        actual: usize,
+    },
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "input truncated before header end"),
+            DecodeError::BadMagic(m) => write!(f, "bad magic 0x{m:08x}"),
+            DecodeError::LengthMismatch { expected, actual } => {
+                write!(f, "payload length mismatch: expected {expected} bytes, got {actual}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Serializes a database to bytes.
+pub fn to_bytes(db: &Database) -> Vec<u8> {
+    let m = db.matrix();
+    let mut out = Vec::with_capacity(20 + m.raw_words().len() * 8);
+    out.extend_from_slice(&MAGIC.to_le_bytes());
+    out.extend_from_slice(&(db.rows() as u64).to_le_bytes());
+    out.extend_from_slice(&(db.dims() as u64).to_le_bytes());
+    for w in m.raw_words() {
+        out.extend_from_slice(&w.to_le_bytes());
+    }
+    out
+}
+
+/// Deserializes a database produced by [`to_bytes`].
+pub fn from_bytes(bytes: &[u8]) -> Result<Database, DecodeError> {
+    if bytes.len() < 20 {
+        return Err(DecodeError::Truncated);
+    }
+    let magic = u32::from_le_bytes(bytes[0..4].try_into().expect("sliced 4 bytes"));
+    if magic != MAGIC {
+        return Err(DecodeError::BadMagic(magic));
+    }
+    let rows = u64::from_le_bytes(bytes[4..12].try_into().expect("sliced 8 bytes")) as usize;
+    let dims = u64::from_le_bytes(bytes[12..20].try_into().expect("sliced 8 bytes")) as usize;
+    let words_per_row = ifs_util::bits::words_for(dims).max(1);
+    let expected = rows * words_per_row * 8;
+    let payload = &bytes[20..];
+    if payload.len() != expected {
+        return Err(DecodeError::LengthMismatch { expected, actual: payload.len() });
+    }
+    let mut words = Vec::with_capacity(rows * words_per_row);
+    for chunk in payload.chunks_exact(8) {
+        words.push(u64::from_le_bytes(chunk.try_into().expect("chunked 8 bytes")));
+    }
+    Ok(Database::from_matrix(BitMatrix::from_raw(rows, dims, words)))
+}
+
+/// Serialized size in bits — the paper's `|S|` for row-based sketches.
+pub fn size_bits(db: &Database) -> u64 {
+    (to_bytes(db).len() as u64) * 8
+}
+
+/// The information-theoretic size `n·d` bits (no header, no padding), used by
+/// the bound formulas of Theorem 12 where constants are suppressed.
+pub fn payload_bits(db: &Database) -> u64 {
+    (db.rows() as u64) * (db.dims() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ifs_util::Rng64;
+
+    #[test]
+    fn roundtrip_random() {
+        let mut rng = Rng64::seeded(10);
+        for (n, d) in [(0usize, 5usize), (3, 0), (7, 64), (13, 65), (20, 130)] {
+            let db = crate::generators::uniform(n, d, 0.4, &mut rng);
+            let bytes = to_bytes(&db);
+            let back = from_bytes(&bytes).expect("roundtrip");
+            assert_eq!(db, back, "mismatch at n={n} d={d}");
+        }
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let db = Database::zeros(1, 8);
+        let mut bytes = to_bytes(&db);
+        bytes[0] ^= 0xFF;
+        assert!(matches!(from_bytes(&bytes), Err(DecodeError::BadMagic(_))));
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let db = Database::zeros(2, 64);
+        let bytes = to_bytes(&db);
+        assert!(matches!(from_bytes(&bytes[..10]), Err(DecodeError::Truncated)));
+        assert!(matches!(
+            from_bytes(&bytes[..bytes.len() - 8]),
+            Err(DecodeError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn size_accounting() {
+        let db = Database::zeros(10, 100);
+        // 100 cols -> 2 words/row -> 10*2*8 bytes payload + 20 header.
+        assert_eq!(to_bytes(&db).len(), 20 + 160);
+        assert_eq!(size_bits(&db), (20 + 160) * 8);
+        assert_eq!(payload_bits(&db), 1000);
+    }
+}

@@ -1,0 +1,129 @@
+//! Theorem 14: the one-way INDEX reduction, run as a live protocol.
+//!
+//! INDEX: Alice holds `x ∈ {0,1}^N`, Bob holds `y ∈ [N]`, Alice sends one
+//! message, Bob must output `x_y` with probability ≥ 2/3. Any For-Each-
+//! Indicator sketch yields a protocol with message length = sketch size:
+//! Alice encodes `x` as the Theorem 13 database `D_x`, sends the sketch,
+//! and Bob queries the itemset `T_y`. Since INDEX needs Ω(N) communication
+//! [Abl96], sketches need Ω(N) = Ω(d/ε) bits.
+//!
+//! The module runs this protocol with any sketch builder and reports the
+//! empirical success probability and the message size actually sent.
+
+use crate::thm13::HardInstance;
+use ifs_core::{FrequencyIndicator, Sketch};
+use ifs_database::Database;
+use ifs_util::Rng64;
+
+/// Outcome of a batch of INDEX protocol rounds.
+#[derive(Clone, Copy, Debug)]
+pub struct GameReport {
+    /// Instance size `N = (d/2)·(1/ε)` — the information Alice must convey.
+    pub n_bits: usize,
+    /// Message (sketch) size in bits.
+    pub message_bits: u64,
+    /// Rounds played.
+    pub rounds: usize,
+    /// Rounds where Bob answered `x_y` correctly.
+    pub correct: usize,
+}
+
+impl GameReport {
+    /// Empirical success probability.
+    pub fn success_rate(&self) -> f64 {
+        if self.rounds == 0 {
+            return 0.0;
+        }
+        self.correct as f64 / self.rounds as f64
+    }
+}
+
+/// Plays `rounds` independent INDEX rounds.
+///
+/// Each round draws a fresh `x` (a payload for the Theorem 13 family),
+/// builds `D_x`, invokes `build_sketch` (Alice's message), picks a uniform
+/// index `y` and lets Bob answer by querying the sketch.
+pub fn play<S, F>(
+    d: usize,
+    k: usize,
+    inv_eps: usize,
+    rounds: usize,
+    rng: &mut Rng64,
+    mut build_sketch: F,
+) -> GameReport
+where
+    S: FrequencyIndicator + Sketch,
+    F: FnMut(&Database, &mut Rng64) -> S,
+{
+    assert!(HardInstance::applicable(d, k, inv_eps));
+    let n_bits = HardInstance::capacity(d, inv_eps);
+    let mut correct = 0;
+    let mut message_bits = 0u64;
+    for _ in 0..rounds {
+        // Alice's input.
+        let x: Vec<bool> = (0..n_bits).map(|_| rng.bernoulli(0.5)).collect();
+        let inst = HardInstance::encode(d, k, inv_eps, &x, 1);
+        // Alice's message.
+        let sketch = build_sketch(inst.database(), rng);
+        message_bits = sketch.size_bits();
+        // Bob's index: (row i, payload column j).
+        let y = rng.below(n_bits);
+        let (i, j) = (y / (d / 2), y % (d / 2));
+        let answer = sketch.is_frequent(&inst.query(i, j));
+        if answer == x[y] {
+            correct += 1;
+        }
+    }
+    GameReport { n_bits, message_bits, rounds, correct }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ifs_core::{Guarantee, ReleaseDb, SketchParams, Subsample};
+
+    #[test]
+    fn exact_sketch_wins_always() {
+        let mut rng = Rng64::seeded(161);
+        let report = play(12, 2, 6, 30, &mut rng, |db, _| ReleaseDb::build(db, 1.0 / 6.0));
+        assert_eq!(report.success_rate(), 1.0);
+        assert_eq!(report.n_bits, 36);
+    }
+
+    #[test]
+    fn valid_subsample_beats_two_thirds() {
+        let mut rng = Rng64::seeded(162);
+        let (d, k, inv_eps) = (12, 2, 6);
+        let eps = 1.0 / inv_eps as f64;
+        let report = play(d, k, inv_eps, 60, &mut rng, |db, r| {
+            let params = SketchParams::new(k, eps, 0.05);
+            Subsample::build(db, &params, Guarantee::ForEachIndicator, r)
+        });
+        assert!(
+            report.success_rate() >= 2.0 / 3.0,
+            "success {} below INDEX threshold",
+            report.success_rate()
+        );
+    }
+
+    #[test]
+    fn starved_sketch_approaches_coin_flipping() {
+        // A sketch with a single sampled row cannot carry N bits.
+        let mut rng = Rng64::seeded(163);
+        let (d, k, inv_eps) = (16, 2, 8);
+        let report = play(d, k, inv_eps, 200, &mut rng, |db, r| {
+            Subsample::with_sample_count(db, 1, 1.0 / 8.0, r)
+        });
+        let rate = report.success_rate();
+        // One row reveals one fingerprint; most queries are blind guesses.
+        assert!(rate < 0.75, "starved sketch too successful: {rate}");
+        assert!(rate > 0.3, "rate {rate} suspiciously low for one-sided guessing");
+    }
+
+    #[test]
+    fn message_size_reported() {
+        let mut rng = Rng64::seeded(164);
+        let report = play(12, 2, 6, 2, &mut rng, |db, _| ReleaseDb::build(db, 1.0 / 6.0));
+        assert!(report.message_bits > 0);
+    }
+}

@@ -1,0 +1,34 @@
+//! Executable lower-bound constructions from the paper.
+//!
+//! Every lower bound in the paper is an *encoding argument*: a way to hide
+//! arbitrary bits inside a database such that any valid sketch can be forced
+//! to reveal them, so the sketch must be at least as large as the payload.
+//! This crate turns each argument into a runnable encoder/decoder pair:
+//!
+//! * [`shatter`] — Fact 18 / Appendix A: `v = k′·log₂(d/k′)` vectors
+//!   shattered by `k′`-itemset queries (the VC-dimension construction).
+//! * [`thm13`] — the Ω(d/ε) unique-fingerprint family for indicator
+//!   sketches: `d/(2ε)` free bits recovered one itemset query each.
+//! * [`index_game`] — the one-way INDEX reduction of Theorem 14, run as an
+//!   actual Alice/Bob protocol parameterized by any For-Each sketch.
+//! * [`thm15`] — the Ω(k·d·log(d/k)) core (ε = 1/50): shattered rows
+//!   carrying an error-corrected payload, recovered column-by-column via the
+//!   Lemma 19 consistency search, then ECC-decoded.
+//! * [`amplify`] — the ε = o(1) amplification: `m = 1/(50ε)` tagged
+//!   sub-databases multiplexed through one sketch.
+//! * [`thm16`] — the For-All-Estimator pipeline of Lemmas 20–27: Hadamard
+//!   row-products, spectral and Euclidean-section measurements (Rudelson),
+//!   and L1 (De) vs L2 (KRSU) decoding of a hidden boolean column.
+//! * [`accounting`] — the bit-accounting harness shared by the experiments:
+//!   payload bits in, sketch bits spent, payload bits recovered.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod accounting;
+pub mod amplify;
+pub mod index_game;
+pub mod shatter;
+pub mod thm13;
+pub mod thm15;
+pub mod thm16;

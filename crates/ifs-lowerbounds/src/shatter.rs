@@ -1,0 +1,167 @@
+//! Fact 18 (Appendix A): a set of vectors shattered by itemset queries.
+//!
+//! For any `k′ ≥ 1` and `d` with `d/k′` a power of two, there are
+//! `v = k′·log₂(d/k′)` vectors `x₁,…,x_v ∈ {0,1}^d` such that for **every**
+//! pattern `s ∈ {0,1}^v` some `k′`-itemset `T_s` satisfies
+//! `f_{T_s}(x_i) = s_i` for all `i` — i.e. the rows are shattered, giving VC
+//! dimension ≥ v for `k′`-way monotone conjunctions.
+//!
+//! Construction (verbatim from the appendix): split the `d` columns into
+//! `k′` blocks of width `b = d/k′`. Within block `i`, rows belonging to
+//! block-row `i` carry the bit-table matrix `Y^{(b)}` (column `j` holds the
+//! binary representation of `j`); all other blocks are all-ones `J`. The
+//! itemset for pattern `s` reads off one column per block: interpret the
+//! `log₂ b` bits of `s` belonging to block `i` as an integer `ℓᵢ` and take
+//! column `ℓᵢ` of block `i`.
+
+use ifs_database::{BitMatrix, Itemset};
+
+/// The shattered set: `v` vectors over `d` attributes for `k′`-itemsets.
+#[derive(Clone, Debug)]
+pub struct ShatteredSet {
+    d: usize,
+    k_prime: usize,
+    block_width: usize,
+    bits_per_block: usize,
+    rows: BitMatrix,
+}
+
+impl ShatteredSet {
+    /// Builds the construction. Requires `k′ ≥ 1`, `d` divisible by `k′`,
+    /// and `d/k′` a power of two ≥ 2.
+    pub fn new(d: usize, k_prime: usize) -> Self {
+        assert!(k_prime >= 1, "k' must be positive");
+        assert!(d % k_prime == 0, "d={d} must be divisible by k'={k_prime}");
+        let block_width = d / k_prime;
+        assert!(
+            block_width >= 2 && block_width.is_power_of_two(),
+            "d/k' = {block_width} must be a power of two >= 2"
+        );
+        let bits_per_block = block_width.trailing_zeros() as usize;
+        let v = k_prime * bits_per_block;
+        // Row (i_block, t) has: ones everywhere except block i_block, where
+        // column j carries bit t of j.
+        let rows = BitMatrix::from_fn(v, d, |row, col| {
+            let i_block = row / bits_per_block;
+            let t = row % bits_per_block;
+            let col_block = col / block_width;
+            if col_block != i_block {
+                true // J block
+            } else {
+                let j = col % block_width;
+                (j >> t) & 1 == 1 // Y block
+            }
+        });
+        Self { d, k_prime, block_width, bits_per_block, rows }
+    }
+
+    /// Number of shattered vectors `v = k′·log₂(d/k′)`.
+    pub fn v(&self) -> usize {
+        self.k_prime * self.bits_per_block
+    }
+
+    /// Attribute count `d`.
+    pub fn d(&self) -> usize {
+        self.d
+    }
+
+    /// The itemset cardinality `k′` of the shattering queries.
+    pub fn k_prime(&self) -> usize {
+        self.k_prime
+    }
+
+    /// The shattered vectors as rows of a bit matrix (`v × d`).
+    pub fn rows(&self) -> &BitMatrix {
+        &self.rows
+    }
+
+    /// Row `i` as packed words (length `words_per_row` of the matrix).
+    pub fn row_words(&self, i: usize) -> &[u64] {
+        self.rows.row_words(i)
+    }
+
+    /// The `k′`-itemset `T_s` realizing pattern `s` (`s.len() == v`):
+    /// `f_{T_s}(x_i) = s[i]`.
+    pub fn itemset_for(&self, s: &[bool]) -> Itemset {
+        assert_eq!(s.len(), self.v(), "pattern length must be v = {}", self.v());
+        let mut items = Vec::with_capacity(self.k_prime);
+        for i_block in 0..self.k_prime {
+            // Bits of this block, little-endian: s[i_block*b + t] is bit t.
+            let mut ell = 0usize;
+            for t in 0..self.bits_per_block {
+                if s[i_block * self.bits_per_block + t] {
+                    ell |= 1 << t;
+                }
+            }
+            items.push((i_block * self.block_width + ell) as u32);
+        }
+        Itemset::new(items)
+    }
+
+    /// Evaluates the pattern a given `k′`-itemset induces on the rows —
+    /// the inverse direction, used by tests.
+    pub fn pattern_of(&self, itemset: &Itemset) -> Vec<bool> {
+        let mask = itemset.mask(self.d, self.rows.words_per_row());
+        (0..self.v()).map(|i| self.rows.row_contains_mask(i, &mask)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn v_matches_formula() {
+        let s = ShatteredSet::new(32, 2); // blocks of 16, log = 4
+        assert_eq!(s.v(), 8);
+        let s = ShatteredSet::new(8, 1);
+        assert_eq!(s.v(), 3);
+    }
+
+    #[test]
+    fn every_pattern_is_realized_small() {
+        // Exhaustive shattering check: all 2^v patterns.
+        for (d, kp) in [(8usize, 1usize), (8, 2), (16, 2), (12, 3)] {
+            let sh = ShatteredSet::new(d, kp);
+            let v = sh.v();
+            for mask in 0u32..(1 << v) {
+                let s: Vec<bool> = (0..v).map(|i| (mask >> i) & 1 == 1).collect();
+                let t = sh.itemset_for(&s);
+                assert_eq!(t.len(), kp, "itemset must have k' items");
+                assert_eq!(sh.pattern_of(&t), s, "pattern {mask:b} not realized (d={d},k'={kp})");
+            }
+        }
+    }
+
+    #[test]
+    fn itemsets_pick_one_column_per_block() {
+        let sh = ShatteredSet::new(16, 2);
+        let s = vec![true; sh.v()];
+        let t = sh.itemset_for(&s);
+        let items = t.items();
+        assert!(items[0] < 8 && items[1] >= 8, "one item per block: {t}");
+    }
+
+    #[test]
+    fn distinct_patterns_distinct_itemsets() {
+        let sh = ShatteredSet::new(16, 2);
+        let v = sh.v();
+        let mut seen = std::collections::HashSet::new();
+        for mask in 0u32..(1 << v) {
+            let s: Vec<bool> = (0..v).map(|i| (mask >> i) & 1 == 1).collect();
+            assert!(seen.insert(sh.itemset_for(&s)), "itemset collision at {mask:b}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two_blocks() {
+        ShatteredSet::new(12, 2); // blocks of 6
+    }
+
+    #[test]
+    #[should_panic(expected = "divisible")]
+    fn rejects_indivisible_d() {
+        ShatteredSet::new(10, 3);
+    }
+}

@@ -1,0 +1,189 @@
+//! Theorem 13: the Ω(d/ε) unique-fingerprint family.
+//!
+//! The hard database has `1/ε` distinct row types. Row `i`'s first `d/2`
+//! columns hold a *unique* `(k−1)`-subset (its fingerprint); the last `d/2`
+//! columns are free payload bits. The itemset
+//! `T_{i,j} = fingerprint(i) ∪ {j}` has frequency `ε·payload(i, j)` — one
+//! indicator query per payload bit recovers everything, so any valid
+//! For-All-Indicator sketch stores `d/(2ε)` arbitrary bits.
+
+use ifs_core::FrequencyIndicator;
+use ifs_database::{Database, Itemset};
+use ifs_util::combin;
+
+/// The Theorem 13 instance: parameters plus the encoded database.
+#[derive(Clone, Debug)]
+pub struct HardInstance {
+    d: usize,
+    k: usize,
+    inv_eps: usize,
+    payload: Vec<bool>,
+    db: Database,
+}
+
+impl HardInstance {
+    /// Payload capacity in bits: `(d/2)·(1/ε)`.
+    pub fn capacity(d: usize, inv_eps: usize) -> usize {
+        (d / 2) * inv_eps
+    }
+
+    /// Checks the theorem's applicability: `1/ε ≤ C(d/2, k−1)` so that every
+    /// row can get a distinct fingerprint.
+    pub fn applicable(d: usize, k: usize, inv_eps: usize) -> bool {
+        k >= 2
+            && d >= 4
+            && combin::binomial((d / 2) as u64, (k - 1) as u64) >= inv_eps as u128
+    }
+
+    /// Encodes `payload` (exactly [`Self::capacity`] bits) into a database
+    /// with `rows_multiplier · (1/ε)` rows (duplicating each row type keeps
+    /// frequencies at multiples of ε while letting `n` grow).
+    pub fn encode(
+        d: usize,
+        k: usize,
+        inv_eps: usize,
+        payload: &[bool],
+        rows_multiplier: usize,
+    ) -> Self {
+        assert!(Self::applicable(d, k, inv_eps), "parameters violate 1/ε ≤ C(d/2, k−1)");
+        assert_eq!(payload.len(), Self::capacity(d, inv_eps), "payload must fill capacity");
+        assert!(rows_multiplier >= 1);
+        let half = d / 2;
+        let mut db = Database::zeros(inv_eps, d);
+        for i in 0..inv_eps {
+            // Fingerprint: the i-th (k-1)-subset of [d/2] in colex order.
+            for item in combin::unrank_colex(i as u64, (k - 1) as u32) {
+                db.matrix_mut().set(i, item as usize, true);
+            }
+            for j in 0..half {
+                if payload[i * half + j] {
+                    db.matrix_mut().set(i, half + j, true);
+                }
+            }
+        }
+        let db = db.repeat_rows(rows_multiplier);
+        Self { d, k, inv_eps, payload: payload.to_vec(), db }
+    }
+
+    /// The encoded database (`(1/ε)·multiplier` rows, `d` columns).
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// The true payload.
+    pub fn payload(&self) -> &[bool] {
+        &self.payload
+    }
+
+    /// The distinguishing itemset for payload bit `(i, j)`:
+    /// fingerprint(i) ∪ {d/2 + j}.
+    pub fn query(&self, i: usize, j: usize) -> Itemset {
+        assert!(i < self.inv_eps && j < self.d / 2);
+        let mut items = combin::unrank_colex(i as u64, (self.k - 1) as u32);
+        items.push((self.d / 2 + j) as u32);
+        Itemset::new(items)
+    }
+
+    /// Epsilon of the instance (`1/inv_eps`).
+    pub fn epsilon(&self) -> f64 {
+        1.0 / self.inv_eps as f64
+    }
+
+    /// Recovers the payload from any indicator sketch by issuing one query
+    /// per bit.
+    pub fn decode<S: FrequencyIndicator>(&self, sketch: &S) -> Vec<bool> {
+        let half = self.d / 2;
+        let mut out = Vec::with_capacity(self.payload.len());
+        for i in 0..self.inv_eps {
+            for j in 0..half {
+                out.push(sketch.is_frequent(&self.query(i, j)));
+            }
+        }
+        out
+    }
+
+    /// Fraction of payload bits a decode attempt got right.
+    pub fn recovery_rate(&self, decoded: &[bool]) -> f64 {
+        assert_eq!(decoded.len(), self.payload.len());
+        let correct = decoded.iter().zip(&self.payload).filter(|(a, b)| a == b).count();
+        correct as f64 / self.payload.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ifs_core::ReleaseDb;
+    use ifs_util::Rng64;
+
+    fn random_payload(len: usize, rng: &mut Rng64) -> Vec<bool> {
+        (0..len).map(|_| rng.bernoulli(0.5)).collect()
+    }
+
+    #[test]
+    fn frequencies_are_exactly_eps_or_zero() {
+        let mut rng = Rng64::seeded(151);
+        let (d, k, inv_eps) = (16, 2, 8);
+        let payload = random_payload(HardInstance::capacity(d, inv_eps), &mut rng);
+        let inst = HardInstance::encode(d, k, inv_eps, &payload, 3);
+        for i in 0..inv_eps {
+            for j in 0..d / 2 {
+                let f = inst.database().frequency(&inst.query(i, j));
+                let bit = payload[i * (d / 2) + j];
+                if bit {
+                    assert!((f - inst.epsilon()).abs() < 1e-12, "f={f} for set bit");
+                } else {
+                    assert_eq!(f, 0.0, "f={f} for clear bit");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exact_sketch_recovers_everything() {
+        let mut rng = Rng64::seeded(152);
+        let (d, k, inv_eps) = (20, 3, 16);
+        assert!(HardInstance::applicable(d, k, inv_eps));
+        let payload = random_payload(HardInstance::capacity(d, inv_eps), &mut rng);
+        let inst = HardInstance::encode(d, k, inv_eps, &payload, 1);
+        let sketch = ReleaseDb::build(inst.database(), inst.epsilon());
+        let decoded = inst.decode(&sketch);
+        assert_eq!(inst.recovery_rate(&decoded), 1.0);
+        assert_eq!(decoded, payload);
+    }
+
+    #[test]
+    fn fingerprints_are_unique() {
+        let mut rng = Rng64::seeded(153);
+        let (d, k, inv_eps) = (12, 2, 6);
+        let payload = random_payload(HardInstance::capacity(d, inv_eps), &mut rng);
+        let inst = HardInstance::encode(d, k, inv_eps, &payload, 1);
+        let mut prints = std::collections::HashSet::new();
+        for i in 0..inv_eps {
+            let fp: Vec<u32> = (0..d as u32 / 2)
+                .filter(|&c| inst.database().get(i, c as usize))
+                .collect();
+            assert_eq!(fp.len(), k - 1);
+            assert!(prints.insert(fp), "duplicate fingerprint at row {i}");
+        }
+    }
+
+    #[test]
+    fn applicability_boundary() {
+        // C(6, 1) = 6 >= 6 OK; 7 rows impossible.
+        assert!(HardInstance::applicable(12, 2, 6));
+        assert!(!HardInstance::applicable(12, 2, 7));
+        assert!(!HardInstance::applicable(12, 1, 2)); // k must be >= 2
+    }
+
+    #[test]
+    fn capacity_formula() {
+        assert_eq!(HardInstance::capacity(16, 8), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "payload must fill")]
+    fn wrong_payload_length_panics() {
+        HardInstance::encode(12, 2, 4, &[true; 3], 1);
+    }
+}

@@ -1,0 +1,271 @@
+//! Theorem 15 core (ε = 1/50): Ω(k·d·log(d/k)) bits hide inside a
+//! `v × 2d` database.
+//!
+//! Construction: row `i` is `(xᵢ, yᵢ)` where the `xᵢ` are the Fact 18
+//! shattered vectors for `k′ = k−1` and the `yᵢ` carry an error-corrected
+//! payload. For a payload column `j` with bits `t = (y_{1,j},…,y_{v,j})` and
+//! any pattern `s`, the `k`-itemset `T_s ∪ {d+j}` has frequency exactly
+//! `⟨s, t⟩/v` — so a valid For-All-Indicator sketch answers threshold
+//! queries about every inner product, and the Lemma 19 consistency search
+//! ([`ifs_solver::repair`]) pins `t` to within `2⌈εv⌉` bits. The
+//! concatenated code then turns 96%-correct columns into an exactly-correct
+//! message, proving the sketch stored `Ω(dv) = Ω(k·d·log(d/k))` bits.
+
+use ifs_codes::ConcatenatedCode;
+use ifs_core::FrequencyIndicator;
+use ifs_database::{BitMatrix, Database, Itemset};
+use ifs_solver::repair;
+use ifs_util::Rng64;
+
+use crate::shatter::ShatteredSet;
+
+/// The Theorem 15 instance.
+pub struct Thm15Instance {
+    shatter: ShatteredSet,
+    code: ConcatenatedCode,
+    message: Vec<bool>,
+    /// Codeword bits in column-major layout: `codeword[j*v + i] = y_{i,j}`.
+    codeword: Vec<bool>,
+    db: Database,
+}
+
+impl Thm15Instance {
+    /// Checks parameter feasibility: `k ≥ 2`, the shattered set exists
+    /// (`d/(k−1)` a power of two), and `d·v` fits one concatenated-code
+    /// block (multiple of 32, ≤ 8160).
+    pub fn feasible(d: usize, k: usize) -> bool {
+        if k < 2 || d % (k - 1) != 0 {
+            return false;
+        }
+        let block = d / (k - 1);
+        if block < 2 || !block.is_power_of_two() {
+            return false;
+        }
+        let v = (k - 1) * block.trailing_zeros() as usize;
+        let bits = d * v;
+        v <= 24 && bits % 32 == 0 && (96..=8160).contains(&bits)
+    }
+
+    /// Message capacity (bits) for given `(d, k)`; `None` when infeasible.
+    pub fn message_capacity(d: usize, k: usize) -> Option<usize> {
+        if !Self::feasible(d, k) {
+            return None;
+        }
+        let sh = ShatteredSet::new(d, k - 1);
+        ConcatenatedCode::for_codeword_bits(d * sh.v(), 0.04).map(|c| c.message_bits())
+    }
+
+    /// Encodes `message` (exactly [`Self::message_capacity`] bits).
+    pub fn encode(d: usize, k: usize, message: &[bool]) -> Self {
+        assert!(Self::feasible(d, k), "infeasible (d={d}, k={k}); see feasible()");
+        let shatter = ShatteredSet::new(d, k - 1);
+        let v = shatter.v();
+        let code = ConcatenatedCode::for_codeword_bits(d * v, 0.04)
+            .expect("feasible() guarantees a code exists");
+        assert_eq!(message.len(), code.message_bits(), "message must fill capacity");
+        let codeword = code.encode(message);
+        // Assemble D: v rows over 2d columns.
+        let mut m = BitMatrix::zeros(v, 2 * d);
+        for i in 0..v {
+            for c in ifs_util::bits::ones(shatter.row_words(i)) {
+                if c < d {
+                    m.set(i, c, true);
+                }
+            }
+            for j in 0..d {
+                if codeword[j * v + i] {
+                    m.set(i, d + j, true);
+                }
+            }
+        }
+        Self { shatter, code, message: message.to_vec(), codeword, db: Database::from_matrix(m) }
+    }
+
+    /// The encoded database.
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// The hidden message.
+    pub fn message(&self) -> &[bool] {
+        &self.message
+    }
+
+    /// The number of shattered rows `v`.
+    pub fn v(&self) -> usize {
+        self.shatter.v()
+    }
+
+    /// Attribute count of the *payload half* (`d`); the database has `2d`.
+    pub fn d(&self) -> usize {
+        self.shatter.d()
+    }
+
+    /// The `k`-itemset querying pattern `s` against payload column `j`.
+    pub fn query(&self, s: &[bool], j: usize) -> Itemset {
+        assert!(j < self.d());
+        self.shatter.itemset_for(s).union(&Itemset::singleton((self.d() + j) as u32))
+    }
+
+    /// Number of indicator queries a full recovery issues: `d · 2^v`.
+    pub fn query_count(&self) -> u64 {
+        (self.d() as u64) << self.v()
+    }
+
+    /// Recovers payload column `j` through the sketch via Lemma 19.
+    ///
+    /// `epsilon` is the sketch's threshold parameter (the paper's 1/50).
+    pub fn recover_column<S: FrequencyIndicator>(
+        &self,
+        sketch: &S,
+        j: usize,
+        epsilon: f64,
+        rng: &mut Rng64,
+    ) -> Option<u64> {
+        let v = self.v();
+        let size = 1usize << v;
+        let mut answers = Vec::with_capacity(size);
+        for mask in 0..size {
+            let s: Vec<bool> = (0..v).map(|i| (mask >> i) & 1 == 1).collect();
+            answers.push(sketch.is_frequent(&self.query(&s, j)));
+        }
+        repair::reconstruct(v, epsilon, &answers, rng)
+    }
+
+    /// Recovers the full codeword (column by column); unrecoverable columns
+    /// fall back to all-zeros and count as errors for the ECC to fix.
+    pub fn recover_codeword<S: FrequencyIndicator>(
+        &self,
+        sketch: &S,
+        epsilon: f64,
+        rng: &mut Rng64,
+    ) -> Vec<bool> {
+        let v = self.v();
+        let mut out = vec![false; self.codeword.len()];
+        for j in 0..self.d() {
+            if let Some(t) = self.recover_column(sketch, j, epsilon, rng) {
+                for i in 0..v {
+                    out[j * v + i] = (t >> i) & 1 == 1;
+                }
+            }
+        }
+        out
+    }
+
+    /// Fraction of codeword bits recovered correctly.
+    pub fn codeword_accuracy(&self, recovered: &[bool]) -> f64 {
+        assert_eq!(recovered.len(), self.codeword.len());
+        let correct = recovered.iter().zip(&self.codeword).filter(|(a, b)| a == b).count();
+        correct as f64 / self.codeword.len() as f64
+    }
+
+    /// End-to-end attack: recover the codeword, then ECC-decode the message.
+    /// Returns `(codeword_accuracy, decoded_message_if_any)`.
+    pub fn attack<S: FrequencyIndicator>(
+        &self,
+        sketch: &S,
+        epsilon: f64,
+        rng: &mut Rng64,
+    ) -> (f64, Option<Vec<bool>>) {
+        let recovered = self.recover_codeword(sketch, epsilon, rng);
+        let acc = self.codeword_accuracy(&recovered);
+        (acc, self.code.decode(&recovered))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ifs_core::ReleaseDb;
+
+    fn random_message(len: usize, rng: &mut Rng64) -> Vec<bool> {
+        (0..len).map(|_| rng.bernoulli(0.5)).collect()
+    }
+
+    #[test]
+    fn feasibility_catalog() {
+        assert!(Thm15Instance::feasible(32, 2)); // v=5, 160 bits
+        assert!(Thm15Instance::feasible(32, 3)); // v=8, 256 bits
+        assert!(Thm15Instance::feasible(64, 3)); // v=10, 640 bits
+        assert!(Thm15Instance::feasible(64, 5)); // v=16, 1024 bits
+        assert!(!Thm15Instance::feasible(512, 3)); // 8192 bits > one block
+        assert!(!Thm15Instance::feasible(12, 3)); // block 6 not a power of 2
+        assert!(!Thm15Instance::feasible(8, 1)); // k < 2
+    }
+
+    #[test]
+    fn query_frequency_is_inner_product() {
+        let mut rng = Rng64::seeded(171);
+        let (d, k) = (32, 3);
+        let msg = random_message(Thm15Instance::message_capacity(d, k).unwrap(), &mut rng);
+        let inst = Thm15Instance::encode(d, k, &msg);
+        let v = inst.v();
+        for _ in 0..50 {
+            let s: Vec<bool> = (0..v).map(|_| rng.bernoulli(0.5)).collect();
+            let j = rng.below(d);
+            let f = inst.database().frequency(&inst.query(&s, j));
+            let expect = (0..v)
+                .filter(|&i| s[i] && inst.codeword[j * v + i])
+                .count() as f64
+                / v as f64;
+            assert!((f - expect).abs() < 1e-12, "f={f} expect={expect}");
+        }
+    }
+
+    #[test]
+    fn exact_sketch_full_recovery() {
+        let mut rng = Rng64::seeded(172);
+        let (d, k) = (32, 3);
+        let eps = 1.0 / 50.0;
+        let msg = random_message(Thm15Instance::message_capacity(d, k).unwrap(), &mut rng);
+        let inst = Thm15Instance::encode(d, k, &msg);
+        let sketch = ReleaseDb::build(inst.database(), eps);
+        let (acc, decoded) = inst.attack(&sketch, eps, &mut rng);
+        assert_eq!(acc, 1.0, "codeword accuracy");
+        assert_eq!(decoded.expect("decodes"), msg);
+    }
+
+    #[test]
+    fn queries_have_cardinality_k() {
+        let mut rng = Rng64::seeded(173);
+        let (d, k) = (32, 3);
+        let msg = random_message(Thm15Instance::message_capacity(d, k).unwrap(), &mut rng);
+        let inst = Thm15Instance::encode(d, k, &msg);
+        let s: Vec<bool> = vec![true; inst.v()];
+        assert_eq!(inst.query(&s, 5).len(), k);
+    }
+
+    #[test]
+    fn capacity_grows_with_d() {
+        let c32 = Thm15Instance::message_capacity(32, 3).unwrap();
+        let c64 = Thm15Instance::message_capacity(64, 3).unwrap();
+        assert!(c64 > c32, "capacity must grow: {c32} vs {c64}");
+    }
+
+    #[test]
+    fn corrupted_sketch_detected_by_ecc() {
+        // An adversarial sketch lying about everything: ECC decode fails or
+        // returns a wrong message, but accuracy reflects the damage.
+        struct Liar;
+        impl ifs_core::Sketch for Liar {
+            fn size_bits(&self) -> u64 {
+                1
+            }
+        }
+        impl FrequencyIndicator for Liar {
+            fn is_frequent(&self, _: &Itemset) -> bool {
+                true
+            }
+        }
+        let mut rng = Rng64::seeded(174);
+        let (d, k) = (32, 3);
+        let msg = random_message(Thm15Instance::message_capacity(d, k).unwrap(), &mut rng);
+        let inst = Thm15Instance::encode(d, k, &msg);
+        let (acc, decoded) = inst.attack(&Liar, 1.0 / 50.0, &mut rng);
+        // All-true answers make every column decode to all-ones.
+        assert!(acc < 0.9, "accuracy {acc} too high for a liar");
+        if let Some(d) = decoded {
+            assert_ne!(d, msg, "liar must not yield the true message");
+        }
+    }
+}

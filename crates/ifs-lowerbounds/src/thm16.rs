@@ -1,0 +1,255 @@
+//! Theorem 16 machinery (Lemmas 20–27): estimator lower bounds via
+//! LP decoding over Hadamard row-products.
+//!
+//! The KRSU/De construction hides a boolean column `x ∈ {0,1}ⁿ` in a
+//! database whose other columns are the transposed factors of a random
+//! Hadamard row-product `A = A₁ ∘ ⋯ ∘ A_{k−1}` (`Aⱼ ∈ {0,1}^{d₀×n}`).
+//! Every `k`-itemset choosing one attribute per factor block plus the
+//! secret column has frequency `(Ax)_r / n`; ±ε-accurate answers to all of
+//! them are a noisy linear view `y ≈ Ax/n` from which L1 minimization
+//! recovers `x` — as long as `n ≲ 1/ε²`, which is the source of the `1/ε²`
+//! in Theorem 16. The spectral fact making this work is Rudelson's
+//! Lemma 26 (`σ_min(A) = Ω(√(d₀^{k−1}))`, range is a Euclidean section),
+//! which experiment E8 *measures* on the same ensemble.
+
+use ifs_core::FrequencyEstimator;
+use ifs_database::{BitMatrix, Database, Itemset};
+use ifs_linalg::{products, sections, svd, Matrix};
+use ifs_solver::l1;
+use ifs_util::Rng64;
+
+/// A KRSU/De-style instance: random factors, their row-product, a hidden
+/// boolean column, and the database embedding all of it.
+pub struct RowProductInstance {
+    d0: usize,
+    k_minus_1: usize,
+    factors: Vec<Matrix>,
+    a: Matrix,
+    secret: Vec<bool>,
+    db: Database,
+}
+
+impl RowProductInstance {
+    /// Samples factors and embeds `secret` (length `n`). The database has
+    /// `n` rows and `(k−1)·d₀ + 1` columns.
+    ///
+    /// Factor columns are conditioned to be nonzero: an all-zero factor
+    /// column zeroes the corresponding column of `A`, making that secret
+    /// bit information-theoretically invisible. The event has probability
+    /// `2^{−d₀}` per column — Rudelson's "with high probability" absorbs it
+    /// asymptotically; at laptop scale we resample, which conditions on the
+    /// same high-probability event the theory lives on.
+    pub fn new(d0: usize, k_minus_1: usize, secret: &[bool], rng: &mut Rng64) -> Self {
+        assert!(d0 >= 2 && k_minus_1 >= 1);
+        let n = secret.len();
+        assert!(n >= 1, "secret must be non-empty");
+        let factors: Vec<Matrix> = (0..k_minus_1)
+            .map(|_| {
+                let mut f = Matrix::random_binary(d0, n, rng);
+                for h in 0..n {
+                    while (0..d0).all(|i| f[(i, h)] == 0.0) {
+                        for i in 0..d0 {
+                            f[(i, h)] = if rng.bernoulli(0.5) { 1.0 } else { 0.0 };
+                        }
+                    }
+                }
+                f
+            })
+            .collect();
+        let a = products::hadamard_product(&factors.iter().collect::<Vec<_>>());
+        // Database row h: (col h of A_1, …, col h of A_{k−1}, secret[h]).
+        let cols = k_minus_1 * d0 + 1;
+        let mut m = BitMatrix::zeros(n, cols);
+        for h in 0..n {
+            for (j, f) in factors.iter().enumerate() {
+                for i in 0..d0 {
+                    if f[(i, h)] == 1.0 {
+                        m.set(h, j * d0 + i, true);
+                    }
+                }
+            }
+            if secret[h] {
+                m.set(h, cols - 1, true);
+            }
+        }
+        Self { d0, k_minus_1, factors, a, secret: secret.to_vec(), db: Database::from_matrix(m) }
+    }
+
+    /// The row-product matrix `A` (`d₀^{k−1} × n`).
+    pub fn matrix(&self) -> &Matrix {
+        &self.a
+    }
+
+    /// The factor matrices.
+    pub fn factors(&self) -> &[Matrix] {
+        &self.factors
+    }
+
+    /// The embedded database.
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// The hidden column.
+    pub fn secret(&self) -> &[bool] {
+        &self.secret
+    }
+
+    /// Number of query rows `L = d₀^{k−1}`.
+    pub fn query_rows(&self) -> usize {
+        self.a.rows()
+    }
+
+    /// The `k`-itemset for product row `r` (one attribute per block, plus
+    /// the secret column).
+    pub fn query(&self, r: usize) -> Itemset {
+        let dims = vec![self.d0; self.k_minus_1];
+        let tuple = products::row_to_tuple(r, &dims);
+        let mut items: Vec<u32> =
+            tuple.iter().enumerate().map(|(j, &i)| (j * self.d0 + i) as u32).collect();
+        items.push((self.k_minus_1 * self.d0) as u32);
+        Itemset::new(items)
+    }
+
+    /// Exact query answers `(Ax)_r / n` — what a perfect estimator returns.
+    pub fn exact_answers(&self) -> Vec<f64> {
+        let xf: Vec<f64> = self.secret.iter().map(|&b| b as u8 as f64).collect();
+        let n = self.secret.len() as f64;
+        self.a.matvec(&xf).into_iter().map(|v| v / n).collect()
+    }
+
+    /// Queries an estimator sketch for all `L` answers.
+    pub fn answers_from_sketch<S: FrequencyEstimator>(&self, sketch: &S) -> Vec<f64> {
+        (0..self.query_rows()).map(|r| sketch.estimate(&self.query(r))).collect()
+    }
+
+    /// L1 decoding (De): `min ‖Ax̂ − n·y‖₁, x̂ ∈ [0,1]ⁿ`, rounded.
+    pub fn recover_l1(&self, answers: &[f64]) -> Option<Vec<bool>> {
+        let n = self.secret.len() as f64;
+        let scaled: Vec<f64> = answers.iter().map(|v| v * n).collect();
+        l1::l1_box_regression(&self.a, &scaled).map(|x| l1::round_boolean(&x))
+    }
+
+    /// L2 decoding (KRSU): pseudo-inverse, clamped and rounded.
+    pub fn recover_l2(&self, answers: &[f64]) -> Vec<bool> {
+        let n = self.secret.len() as f64;
+        let scaled: Vec<f64> = answers.iter().map(|v| v * n).collect();
+        l1::round_boolean(&l1::l2_regression(&self.a, &scaled))
+    }
+
+    /// Fraction of secret bits recovered.
+    pub fn accuracy(&self, decoded: &[bool]) -> f64 {
+        1.0 - l1::boolean_error_rate(decoded, &self.secret)
+    }
+
+    /// Smallest singular value of `A` — the Lemma 26 quantity. Normalized
+    /// form `σ_min/√(d₀^{k−1})` should stay bounded below across sizes.
+    pub fn sigma_min(&self) -> f64 {
+        svd::decompose(&self.a).sigma_min()
+    }
+
+    /// Empirical Euclidean-section constant of `range(A)` (Definition 23).
+    pub fn section_delta(&self, samples: usize, rng: &mut Rng64) -> f64 {
+        sections::estimate_delta_sampling(&self.a, samples, rng)
+    }
+}
+
+/// The noise model of the amplified argument: answers accurate to ±`eps`
+/// *on average*, with a `gross_fraction` of answers arbitrarily wrong —
+/// exactly the regime where L2 decoding collapses and L1 survives (§4.1.1).
+pub fn perturb_answers(
+    answers: &[f64],
+    eps: f64,
+    gross_fraction: f64,
+    rng: &mut Rng64,
+) -> Vec<f64> {
+    let mut out: Vec<f64> =
+        answers.iter().map(|v| v + eps * 2.0 * (rng.unit() - 0.5)).collect();
+    let gross = ((answers.len() as f64) * gross_fraction) as usize;
+    if gross > 0 {
+        for &p in &rng.distinct_sorted(answers.len(), gross) {
+            out[p] = rng.unit(); // arbitrary garbage in [0,1)
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ifs_core::ReleaseDb;
+
+    fn random_secret(n: usize, rng: &mut Rng64) -> Vec<bool> {
+        (0..n).map(|_| rng.bernoulli(0.5)).collect()
+    }
+
+    #[test]
+    fn query_frequency_matches_product_row() {
+        let mut rng = Rng64::seeded(191);
+        let inst = RowProductInstance::new(4, 2, &random_secret(20, &mut rng), &mut rng);
+        let exact = inst.exact_answers();
+        for r in 0..inst.query_rows() {
+            let f = inst.database().frequency(&inst.query(r));
+            assert!((f - exact[r]).abs() < 1e-12, "row {r}: {f} vs {exact:?}");
+        }
+    }
+
+    #[test]
+    fn exact_sketch_l1_recovers_secret() {
+        let mut rng = Rng64::seeded(192);
+        let secret = random_secret(16, &mut rng);
+        let inst = RowProductInstance::new(4, 2, &secret, &mut rng);
+        let sketch = ReleaseDb::build(inst.database(), 0.01);
+        let answers = inst.answers_from_sketch(&sketch);
+        let decoded = inst.recover_l1(&answers).expect("LP solvable");
+        assert_eq!(inst.accuracy(&decoded), 1.0);
+    }
+
+    #[test]
+    fn l1_survives_average_error_noise_l2_degrades() {
+        let mut rng = Rng64::seeded(193);
+        let secret = random_secret(16, &mut rng);
+        let inst = RowProductInstance::new(6, 2, &secret, &mut rng);
+        let answers = inst.exact_answers();
+        // Small uniform noise + 10% gross errors.
+        let noisy = perturb_answers(&answers, 0.01, 0.10, &mut rng);
+        let l1_acc = inst.accuracy(&inst.recover_l1(&noisy).expect("solvable"));
+        let l2_acc = inst.accuracy(&inst.recover_l2(&noisy));
+        assert!(l1_acc >= 0.95, "L1 accuracy {l1_acc}");
+        assert!(l1_acc >= l2_acc, "L1 {l1_acc} must not lose to L2 {l2_acc}");
+    }
+
+    #[test]
+    fn sigma_min_positive_for_over_determined() {
+        let mut rng = Rng64::seeded(194);
+        let inst = RowProductInstance::new(6, 2, &random_secret(12, &mut rng), &mut rng);
+        // L = 36 >= n = 12: full column rank whp.
+        assert!(inst.sigma_min() > 0.5, "sigma_min {}", inst.sigma_min());
+    }
+
+    #[test]
+    fn section_delta_bounded_away_from_zero() {
+        let mut rng = Rng64::seeded(195);
+        let inst = RowProductInstance::new(6, 2, &random_secret(10, &mut rng), &mut rng);
+        let delta = inst.section_delta(60, &mut rng);
+        assert!(delta > 0.2, "delta {delta} degenerate");
+        assert!(delta <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn query_cardinality_is_k() {
+        let mut rng = Rng64::seeded(196);
+        let inst = RowProductInstance::new(4, 3, &random_secret(8, &mut rng), &mut rng);
+        // k = k_minus_1 + 1 = 4.
+        assert_eq!(inst.query(17).len(), 4);
+        assert_eq!(inst.query_rows(), 64);
+    }
+
+    #[test]
+    fn perturb_respects_bounds_without_gross() {
+        let mut rng = Rng64::seeded(197);
+        let base = vec![0.5; 30];
+        let noisy = perturb_answers(&base, 0.05, 0.0, &mut rng);
+        assert!(noisy.iter().all(|v| (v - 0.5).abs() <= 0.05 + 1e-12));
+    }
+}

@@ -1,0 +1,127 @@
+//! Eclat: depth-first vertical mining over packed tid-sets.
+//!
+//! Each item maps to the bitset of rows containing it ("tid-set"); the
+//! frequency of an itemset is the popcount of the intersection of its
+//! items' tid-sets. Depth-first extension with intersection reuse makes
+//! this the fastest of the three miners on dense laptop-scale data, and the
+//! packed representation reuses the database's own word layout.
+
+use crate::MinedItemset;
+use ifs_database::{Database, Itemset};
+use ifs_util::bits;
+
+/// Mines all itemsets with frequency ≥ `min_frequency`, depth-first.
+pub fn mine(db: &Database, min_frequency: f64, max_len: usize) -> Vec<MinedItemset> {
+    assert!((0.0..=1.0).contains(&min_frequency), "min_frequency must be in [0,1]");
+    let mut results = Vec::new();
+    let n = db.rows();
+    if n == 0 || max_len == 0 {
+        return results;
+    }
+    let min_support = (min_frequency * n as f64).ceil().max(1.0) as usize;
+    // Vertical representation: tid-set per item.
+    let columns: Vec<Vec<u64>> = (0..db.dims()).map(|c| db.matrix().column(c)).collect();
+    let frequent_items: Vec<(u32, &Vec<u64>)> = columns
+        .iter()
+        .enumerate()
+        .filter(|(_, tids)| bits::count_ones(tids) >= min_support)
+        .map(|(i, tids)| (i as u32, tids))
+        .collect();
+    // DFS stack holds (prefix itemset, prefix tidset, start index in items).
+    for (idx, &(item, tids)) in frequent_items.iter().enumerate() {
+        let prefix = Itemset::singleton(item);
+        results.push(MinedItemset {
+            itemset: prefix.clone(),
+            frequency: bits::count_ones(tids) as f64 / n as f64,
+        });
+        extend(
+            &prefix,
+            tids,
+            &frequent_items,
+            idx + 1,
+            min_support,
+            n,
+            max_len,
+            &mut results,
+        );
+    }
+    results
+}
+
+#[allow(clippy::too_many_arguments)]
+fn extend(
+    prefix: &Itemset,
+    prefix_tids: &[u64],
+    items: &[(u32, &Vec<u64>)],
+    start: usize,
+    min_support: usize,
+    n: usize,
+    max_len: usize,
+    results: &mut Vec<MinedItemset>,
+) {
+    if prefix.len() >= max_len {
+        return;
+    }
+    for (idx, &(item, tids)) in items.iter().enumerate().skip(start) {
+        let mut inter = prefix_tids.to_vec();
+        bits::and_assign(&mut inter, tids);
+        let support = bits::count_ones(&inter);
+        if support >= min_support {
+            let extended = prefix.union(&Itemset::singleton(item));
+            results.push(MinedItemset {
+                itemset: extended.clone(),
+                frequency: support as f64 / n as f64,
+            });
+            extend(&extended, &inter, items, idx + 1, min_support, n, max_len, results);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{apriori, sort_results};
+    use ifs_database::generators;
+    use ifs_util::Rng64;
+
+    #[test]
+    fn agrees_with_apriori_on_random_data() {
+        let mut rng = Rng64::seeded(71);
+        for trial in 0..5 {
+            let db = generators::uniform(120, 12, 0.3, &mut rng);
+            let thresh = 0.1 + 0.05 * trial as f64;
+            let mut a = apriori::mine(&db, thresh, usize::MAX);
+            let mut e = mine(&db, thresh, usize::MAX);
+            sort_results(&mut a);
+            sort_results(&mut e);
+            assert_eq!(a.len(), e.len(), "trial {trial}");
+            for (x, y) in a.iter().zip(&e) {
+                assert_eq!(x.itemset, y.itemset);
+                assert!((x.frequency - y.frequency).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn respects_max_len() {
+        let mut rng = Rng64::seeded(72);
+        let db = generators::uniform(60, 8, 0.6, &mut rng);
+        let got = mine(&db, 0.2, 2);
+        assert!(got.iter().all(|m| m.itemset.len() <= 2));
+        assert!(got.iter().any(|m| m.itemset.len() == 2));
+    }
+
+    #[test]
+    fn min_frequency_one_requires_full_support() {
+        let db = Database::from_rows(3, &[vec![0, 1], vec![0, 1], vec![0, 2]]);
+        let got = mine(&db, 1.0, usize::MAX);
+        let names: Vec<String> = got.iter().map(|m| m.itemset.to_string()).collect();
+        assert_eq!(names, vec!["{0}"]);
+    }
+
+    #[test]
+    fn empty_results_below_any_support() {
+        let db = Database::zeros(10, 5);
+        assert!(mine(&db, 0.1, usize::MAX).is_empty());
+    }
+}

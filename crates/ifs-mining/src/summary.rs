@@ -1,0 +1,130 @@
+//! Condensed representations: maximal and closed frequent itemsets.
+//!
+//! §1.1.1 of the paper recalls that even these condensed forms can be
+//! exponentially large in the worst case — a motivation for sketches. We
+//! implement the standard post-processing filters:
+//!
+//! * **maximal**: no frequent superset exists;
+//! * **closed**: no superset with the *same* frequency exists (closed sets
+//!   preserve all frequency information of the full collection).
+
+use crate::MinedItemset;
+
+/// True iff `a` is a strict subset of `b` (as sorted item slices).
+fn is_strict_subset(a: &[u32], b: &[u32]) -> bool {
+    if a.len() >= b.len() {
+        return false;
+    }
+    let mut bi = 0;
+    for &x in a {
+        while bi < b.len() && b[bi] < x {
+            bi += 1;
+        }
+        if bi == b.len() || b[bi] != x {
+            return false;
+        }
+        bi += 1;
+    }
+    true
+}
+
+/// Filters to **maximal** frequent itemsets.
+pub fn maximal(results: &[MinedItemset]) -> Vec<MinedItemset> {
+    results
+        .iter()
+        .filter(|m| {
+            !results
+                .iter()
+                .any(|other| is_strict_subset(m.itemset.items(), other.itemset.items()))
+        })
+        .cloned()
+        .collect()
+}
+
+/// Filters to **closed** frequent itemsets.
+///
+/// Frequencies are compared with a small tolerance so estimator-derived
+/// results (where frequencies are approximate) behave sensibly.
+pub fn closed(results: &[MinedItemset]) -> Vec<MinedItemset> {
+    closed_with_tolerance(results, 1e-12)
+}
+
+/// [`closed`] with an explicit frequency tolerance.
+pub fn closed_with_tolerance(results: &[MinedItemset], tol: f64) -> Vec<MinedItemset> {
+    results
+        .iter()
+        .filter(|m| {
+            !results.iter().any(|other| {
+                is_strict_subset(m.itemset.items(), other.itemset.items())
+                    && (other.frequency - m.frequency).abs() <= tol
+            })
+        })
+        .cloned()
+        .collect()
+}
+
+/// Checks the defining property of a condensed collection: every frequent
+/// itemset is a subset of some maximal one.
+pub fn covers_all(maximal_sets: &[MinedItemset], all: &[MinedItemset]) -> bool {
+    all.iter().all(|m| {
+        maximal_sets.iter().any(|mx| {
+            m.itemset == mx.itemset || is_strict_subset(m.itemset.items(), mx.itemset.items())
+        })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apriori;
+    use ifs_database::{Database, Itemset};
+
+    fn mined() -> Vec<MinedItemset> {
+        let db = Database::from_rows(
+            4,
+            &[vec![0, 1, 2], vec![0, 1, 2], vec![0, 1], vec![3]],
+        );
+        apriori::mine(&db, 0.5, usize::MAX)
+    }
+
+    #[test]
+    fn maximal_is_the_top_itemset() {
+        let all = mined();
+        let mx = maximal(&all);
+        assert_eq!(mx.len(), 1);
+        assert_eq!(mx[0].itemset, Itemset::new(vec![0, 1, 2]));
+        assert!(covers_all(&mx, &all));
+    }
+
+    #[test]
+    fn closed_keeps_distinct_frequencies() {
+        let all = mined();
+        let cl = closed(&all);
+        // {0,1} has frequency 0.75 > {0,1,2}'s 0.5, so it is closed too.
+        let names: Vec<String> = cl.iter().map(|m| m.itemset.to_string()).collect();
+        assert!(names.contains(&"{0,1}".to_string()));
+        assert!(names.contains(&"{0,1,2}".to_string()));
+        // Singletons {0},{1} have frequency 0.75 = {0,1}: not closed.
+        assert!(!names.contains(&"{0}".to_string()));
+        // Closed ⊇ maximal.
+        assert!(cl.len() >= maximal(&all).len());
+    }
+
+    #[test]
+    fn subset_predicate() {
+        assert!(is_strict_subset(&[1, 3], &[1, 2, 3]));
+        assert!(!is_strict_subset(&[1, 4], &[1, 2, 3]));
+        assert!(!is_strict_subset(&[1, 2], &[1, 2]));
+        assert!(is_strict_subset(&[], &[5]));
+    }
+
+    #[test]
+    fn closed_tolerance_merges_near_equal() {
+        let a = MinedItemset { itemset: Itemset::new(vec![0]), frequency: 0.500001 };
+        let b = MinedItemset { itemset: Itemset::new(vec![0, 1]), frequency: 0.5 };
+        let strict = closed_with_tolerance(&[a.clone(), b.clone()], 1e-12);
+        assert_eq!(strict.len(), 2);
+        let loose = closed_with_tolerance(&[a, b], 1e-3);
+        assert_eq!(loose.len(), 1, "near-equal frequencies collapse");
+    }
+}

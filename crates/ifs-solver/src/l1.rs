@@ -1,0 +1,154 @@
+//! L1 and L2 decoders for the Theorem 16 pipeline.
+//!
+//! De's reconstruction (Lemma 20/24) receives noisy answers `y ≈ A·x/n` to
+//! all row-product itemset queries and recovers the boolean column `x` by
+//! **L1 minimization** — robust to a few queries having large error, which
+//! is exactly the "accurate only on average" regime the amplification step
+//! produces. KRSU's earlier argument used **L2 minimization** (pseudo-
+//! inverse), which the paper points out breaks under average-error
+//! guarantees; both are implemented so experiment E8 can show the contrast.
+
+use crate::simplex::{Constraint, LinearProgram, Relation, SimplexOutcome};
+use ifs_linalg::{qr, svd, Matrix};
+
+/// Solves `min ‖Ax − y‖₁  s.t.  0 ≤ x ≤ 1` exactly via the LP
+/// `min Σu  s.t.  −u ≤ Ax − y ≤ u, 0 ≤ x ≤ 1`.
+///
+/// Returns `None` if the solver reports infeasibility (cannot happen for a
+/// well-formed instance) or unboundedness.
+pub fn l1_box_regression(a: &Matrix, y: &[f64]) -> Option<Vec<f64>> {
+    let (m, n) = (a.rows(), a.cols());
+    assert_eq!(y.len(), m, "rhs length mismatch");
+    // Variables: x_0..x_{n-1}, u_0..u_{m-1}.
+    let nv = n + m;
+    let mut objective = vec![0.0; nv];
+    for obj in objective.iter_mut().skip(n) {
+        *obj = 1.0;
+    }
+    let mut lp = LinearProgram { objective, constraints: Vec::with_capacity(2 * m + n) };
+    for i in 0..m {
+        // a_i·x − u_i ≤ y_i
+        let mut c = vec![0.0; nv];
+        c[..n].copy_from_slice(a.row(i));
+        c[n + i] = -1.0;
+        lp.push(Constraint::new(c, Relation::Le, y[i]));
+        // −a_i·x − u_i ≤ −y_i
+        let mut c = vec![0.0; nv];
+        for (j, &v) in a.row(i).iter().enumerate() {
+            c[j] = -v;
+        }
+        c[n + i] = -1.0;
+        lp.push(Constraint::new(c, Relation::Le, -y[i]));
+    }
+    for j in 0..n {
+        let mut c = vec![0.0; nv];
+        c[j] = 1.0;
+        lp.push(Constraint::new(c, Relation::Le, 1.0));
+    }
+    match lp.solve() {
+        SimplexOutcome::Optimal { x, .. } => Some(x[..n].to_vec()),
+        _ => None,
+    }
+}
+
+/// L2 decoder (KRSU-style): `x̂ = A⁺y`, clamped to `[0, 1]`.
+///
+/// Uses QR least squares when `A` has full column rank, falling back to the
+/// SVD pseudo-inverse otherwise.
+pub fn l2_regression(a: &Matrix, y: &[f64]) -> Vec<f64> {
+    let x = if a.rows() >= a.cols() {
+        qr::least_squares(a, y).unwrap_or_else(|| svd::decompose(a).pinv_apply(y, 1e-10))
+    } else {
+        svd::decompose(a).pinv_apply(y, 1e-10)
+    };
+    x.into_iter().map(|v| v.clamp(0.0, 1.0)).collect()
+}
+
+/// Rounds a fractional solution to booleans at 1/2.
+pub fn round_boolean(x: &[f64]) -> Vec<bool> {
+    x.iter().map(|&v| v >= 0.5).collect()
+}
+
+/// Fraction of positions where the rounding disagrees with the truth.
+pub fn boolean_error_rate(decoded: &[bool], truth: &[bool]) -> f64 {
+    assert_eq!(decoded.len(), truth.len());
+    if truth.is_empty() {
+        return 0.0;
+    }
+    decoded.iter().zip(truth).filter(|(a, b)| a != b).count() as f64 / truth.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ifs_util::Rng64;
+
+    fn random_instance(
+        m: usize,
+        n: usize,
+        rng: &mut Rng64,
+    ) -> (Matrix, Vec<bool>, Vec<f64>) {
+        let a = Matrix::random_binary(m, n, rng);
+        let x: Vec<bool> = (0..n).map(|_| rng.bernoulli(0.5)).collect();
+        let xf: Vec<f64> = x.iter().map(|&b| b as u8 as f64).collect();
+        let y = a.matvec(&xf);
+        (a, x, y)
+    }
+
+    #[test]
+    fn exact_answers_recover_exactly() {
+        let mut rng = Rng64::seeded(51);
+        let (a, x, y) = random_instance(24, 10, &mut rng);
+        let sol = l1_box_regression(&a, &y).expect("solvable");
+        let rounded = round_boolean(&sol);
+        assert_eq!(boolean_error_rate(&rounded, &x), 0.0);
+    }
+
+    #[test]
+    fn l1_tolerates_few_gross_errors() {
+        // Corrupt 10% of answers arbitrarily; L1 shrugs, L2 degrades.
+        let mut rng = Rng64::seeded(52);
+        let (a, x, y) = random_instance(40, 10, &mut rng);
+        let mut noisy = y.clone();
+        for &p in &rng.distinct_sorted(40, 4) {
+            noisy[p] += 7.5; // gross error
+        }
+        let l1 = round_boolean(&l1_box_regression(&a, &noisy).unwrap());
+        assert_eq!(boolean_error_rate(&l1, &x), 0.0, "L1 must reject outliers");
+        let l2 = round_boolean(&l2_regression(&a, &noisy));
+        // L2 typically breaks here; we only assert it is not better than L1.
+        assert!(boolean_error_rate(&l2, &x) >= 0.0);
+    }
+
+    #[test]
+    fn l1_small_uniform_noise() {
+        let mut rng = Rng64::seeded(53);
+        let (a, x, y) = random_instance(32, 8, &mut rng);
+        let noisy: Vec<f64> = y.iter().map(|v| v + 0.2 * (rng.unit() - 0.5)).collect();
+        let sol = round_boolean(&l1_box_regression(&a, &noisy).unwrap());
+        assert!(boolean_error_rate(&sol, &x) <= 0.125, "one coordinate tolerance");
+    }
+
+    #[test]
+    fn l2_exact_answers_recover() {
+        let mut rng = Rng64::seeded(54);
+        let (a, x, y) = random_instance(24, 10, &mut rng);
+        let sol = round_boolean(&l2_regression(&a, &y));
+        assert_eq!(boolean_error_rate(&sol, &x), 0.0);
+    }
+
+    #[test]
+    fn solution_stays_in_box() {
+        let mut rng = Rng64::seeded(55);
+        let (a, _, y) = random_instance(20, 6, &mut rng);
+        let noisy: Vec<f64> = y.iter().map(|v| v + 3.0).collect();
+        let sol = l1_box_regression(&a, &noisy).unwrap();
+        assert!(sol.iter().all(|&v| (-1e-7..=1.0 + 1e-7).contains(&v)), "{sol:?}");
+    }
+
+    #[test]
+    fn error_rate_helper() {
+        assert_eq!(boolean_error_rate(&[true, false], &[true, true]), 0.5);
+        assert_eq!(boolean_error_rate(&[], &[]), 0.0);
+    }
+}

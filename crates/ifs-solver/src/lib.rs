@@ -1,0 +1,24 @@
+//! Optimization routines backing the executable lower-bound proofs.
+//!
+//! * [`simplex`] — a two-phase dense simplex solver for linear programs in
+//!   the form `min cᵀx  s.t.  Ax ⋈ b, x ≥ 0` with per-row relations from
+//!   {≤, =, ≥}. Bland's rule guards against cycling. This is the workhorse
+//!   behind De's LP decoder (Theorem 16 / Lemma 20): reconstruction from
+//!   *average-error* answers needs L1 minimization, and L1 minimization is
+//!   an LP.
+//! * [`l1`] — the decoder-shaped wrapper: `min ‖Ax − y‖₁  s.t.  x ∈ [0,1]ⁿ`,
+//!   plus the L2 (KRSU-style) alternative via least squares for the E8
+//!   ablation.
+//! * [`repair`] — the Lemma 19 primitive: reconstruct a boolean vector from
+//!   threshold answers `b_s` over all subset-sum queries `⟨s, t⟩/v`,
+//!   returning any *consistent* vector, which the lemma proves is within
+//!   Hamming distance `2⌈εv⌉` of the truth.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod l1;
+pub mod repair;
+pub mod simplex;
+
+pub use simplex::{Constraint, LinearProgram, Relation, SimplexOutcome};

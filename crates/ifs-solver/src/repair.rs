@@ -1,0 +1,242 @@
+//! Boolean consistency search — the Lemma 19 primitive.
+//!
+//! Setting: an unknown `t ∈ {0,1}^v` and, for **every** `s ∈ {0,1}^v`, a bit
+//! `b_s` promised to satisfy `b_s = 1` when `⟨s,t⟩/v > ε` and `b_s = 0` when
+//! `⟨s,t⟩/v < ε/2` (either bit allowed in between). A vector `t′` is
+//! *consistent* when `b_s = 1 ⟹ ⟨s,t′⟩/v ≥ ε/2` and
+//! `b_s = 0 ⟹ ⟨s,t′⟩/v ≤ ε`. The truth `t` is always consistent, and the
+//! lemma's argument shows any consistent `t′` has Hamming distance at most
+//! `2⌈εv⌉` from `t` (see [`hamming_bound`]; this matches the paper's `v/25`
+//! at `ε = 1/50`).
+//!
+//! Finding a consistent vector:
+//! * when `εv < 1`, singleton queries already pin every bit — `⟨e_j,t⟩/v`
+//!   is `1/v > ε` or `0 < ε/2` — so decoding is direct (this is the regime
+//!   of all the paper-scale experiments, where `v ≤ 30` and `ε = 1/50`);
+//! * otherwise a violated-constraint local search with random restarts is
+//!   used; every returned vector is *verified* consistent, so the Hamming
+//!   guarantee holds unconditionally for successful returns.
+
+use ifs_util::Rng64;
+
+/// Upper bound on the Hamming distance between the truth and any consistent
+/// vector: `2⌈εv⌉`.
+pub fn hamming_bound(v: usize, epsilon: f64) -> usize {
+    2 * (epsilon * v as f64).ceil() as usize
+}
+
+/// Popcount of the intersection of two masks.
+#[inline]
+fn inner(s: u64, t: u64) -> u32 {
+    (s & t).count_ones()
+}
+
+/// Checks consistency of `t_candidate` against every `b_s` (2^v oracle
+/// answers, provided as a slice indexed by mask).
+pub fn is_consistent(v: usize, epsilon: f64, answers: &[bool], t_candidate: u64) -> bool {
+    debug_assert_eq!(answers.len(), 1usize << v);
+    let lo = epsilon * v as f64 / 2.0; // b=1 requires ⟨s,t'⟩ ≥ lo
+    let hi = epsilon * v as f64; // b=0 requires ⟨s,t'⟩ ≤ hi
+    for (s, &b) in answers.iter().enumerate() {
+        let ip = inner(s as u64, t_candidate) as f64;
+        if b {
+            if ip < lo {
+                return false;
+            }
+        } else if ip > hi {
+            return false;
+        }
+    }
+    true
+}
+
+/// Produces the oracle answer table for a *known* truth `t` with the given
+/// dead-zone policy (used by tests and by the synthetic adversary):
+/// answers are forced outside the dead zone; inside it, `dead_zone(s)`
+/// decides.
+pub fn honest_answers(
+    v: usize,
+    epsilon: f64,
+    t: u64,
+    mut dead_zone: impl FnMut(u64) -> bool,
+) -> Vec<bool> {
+    let size = 1usize << v;
+    let mut out = Vec::with_capacity(size);
+    for s in 0..size {
+        let ratio = inner(s as u64, t) as f64 / v as f64;
+        let b = if ratio > epsilon {
+            true
+        } else if ratio < epsilon / 2.0 {
+            false
+        } else {
+            dead_zone(s as u64)
+        };
+        out.push(b);
+    }
+    out
+}
+
+/// Reconstructs a consistent vector from the full answer table.
+///
+/// Returns `Some(t′)` with `t′` verified consistent, or `None` when the
+/// local search exhausts its budget (only possible in the `εv ≥ 1` regime).
+pub fn reconstruct(v: usize, epsilon: f64, answers: &[bool], rng: &mut Rng64) -> Option<u64> {
+    assert!(v <= 24, "answer table of size 2^{v} is too large");
+    assert_eq!(answers.len(), 1usize << v);
+    // Fast path: singletons are decisive when εv < 1.
+    if epsilon * (v as f64) < 1.0 {
+        let mut t = 0u64;
+        for j in 0..v {
+            if answers[1usize << j] {
+                t |= 1 << j;
+            }
+        }
+        if is_consistent(v, epsilon, answers, t) {
+            return Some(t);
+        }
+        // An adversarial table may be inconsistent with its own singletons
+        // only through dead-zone choices; fall through to search.
+    }
+    local_search(v, epsilon, answers, rng)
+}
+
+fn local_search(v: usize, epsilon: f64, answers: &[bool], rng: &mut Rng64) -> Option<u64> {
+    let size = 1usize << v;
+    let lo = epsilon * v as f64 / 2.0;
+    let hi = epsilon * v as f64;
+    let restarts = 40;
+    let steps = 4 * size;
+    for _ in 0..restarts {
+        let mut t = rng.next_u64() & ((1u64 << v) - 1);
+        let mut ok = true;
+        for _ in 0..steps {
+            // Find a violated constraint (scan from a random offset so we do
+            // not always repair the same region).
+            let start = rng.below(size);
+            let mut violated = None;
+            for off in 0..size {
+                let s = (start + off) % size;
+                let ip = inner(s as u64, t) as f64;
+                if answers[s] {
+                    if ip < lo {
+                        violated = Some((s as u64, true));
+                        break;
+                    }
+                } else if ip > hi {
+                    violated = Some((s as u64, false));
+                    break;
+                }
+            }
+            match violated {
+                None => break, // consistent
+                Some((s, need_more)) => {
+                    // Repair: flip one random coordinate inside s in the
+                    // direction that reduces the violation.
+                    let candidates: Vec<u32> = (0..v as u32)
+                        .filter(|&j| {
+                            let in_s = (s >> j) & 1 == 1;
+                            let set = (t >> j) & 1 == 1;
+                            in_s && (need_more != set)
+                        })
+                        .collect();
+                    if candidates.is_empty() {
+                        ok = false;
+                        break;
+                    }
+                    let j = candidates[rng.below(candidates.len())];
+                    t ^= 1 << j;
+                }
+            }
+            ok = true;
+        }
+        if ok && is_consistent(v, epsilon, answers, t) {
+            return Some(t);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hamming(a: u64, b: u64) -> usize {
+        (a ^ b).count_ones() as usize
+    }
+
+    #[test]
+    fn truth_is_always_consistent() {
+        let mut rng = Rng64::seeded(61);
+        for _ in 0..20 {
+            let v = 10;
+            let t = rng.next_u64() & 0x3FF;
+            let answers = honest_answers(v, 0.3, t, |_| rng.bernoulli(0.5));
+            assert!(is_consistent(v, 0.3, &answers, t));
+        }
+    }
+
+    #[test]
+    fn singleton_fast_path_exact() {
+        // εv < 1: reconstruction is exact, not just close.
+        let mut rng = Rng64::seeded(62);
+        let v = 12;
+        let eps = 1.0 / 50.0;
+        for _ in 0..20 {
+            let t = rng.next_u64() & 0xFFF;
+            let answers = honest_answers(v, eps, t, |_| false);
+            let rec = reconstruct(v, eps, &answers, &mut rng).expect("fast path");
+            assert_eq!(rec, t);
+        }
+    }
+
+    #[test]
+    fn adversarial_dead_zone_stays_within_bound() {
+        // εv > 1 so the dead zone is non-trivial and singletons are mute.
+        let mut rng = Rng64::seeded(63);
+        let v = 14;
+        let eps = 0.25; // εv = 3.5; dead zone: inner products in [1.75, 3.5]
+        for trial in 0..10 {
+            let t = rng.next_u64() & 0x3FFF;
+            // Adversarial dead zone: always answer the "wrong-looking" bit.
+            let mut adversary = Rng64::seeded(1000 + trial);
+            let answers = honest_answers(v, eps, t, |_| adversary.bernoulli(0.5));
+            let rec = reconstruct(v, eps, &answers, &mut rng)
+                .expect("consistent point exists (the truth)");
+            assert!(is_consistent(v, eps, &answers, rec));
+            let bound = hamming_bound(v, eps);
+            assert!(
+                hamming(rec, t) <= bound,
+                "trial {trial}: distance {} > bound {bound}",
+                hamming(rec, t)
+            );
+        }
+    }
+
+    #[test]
+    fn hamming_bound_matches_paper_constant() {
+        // ε = 1/50, v = 50: bound = 2·⌈1⌉ = 2 = v/25.
+        assert_eq!(hamming_bound(50, 1.0 / 50.0), 2);
+        // General shape 2⌈εv⌉.
+        assert_eq!(hamming_bound(14, 0.25), 8);
+    }
+
+    #[test]
+    fn inconsistent_candidate_rejected() {
+        let v = 8;
+        let eps = 0.25;
+        let t = 0b1111_0000u64;
+        let answers = honest_answers(v, eps, t, |_| false);
+        // The complement of t violates many constraints.
+        assert!(!is_consistent(v, eps, &answers, !t & 0xFF));
+    }
+
+    #[test]
+    fn all_zero_and_all_one_truths() {
+        let mut rng = Rng64::seeded(64);
+        for (t, v) in [(0u64, 10usize), ((1 << 10) - 1, 10)] {
+            let answers = honest_answers(v, 0.3, t, |_| false);
+            let rec = reconstruct(v, 0.3, &answers, &mut rng).expect("solvable");
+            assert!(hamming(rec, t) <= hamming_bound(v, 0.3));
+        }
+    }
+}

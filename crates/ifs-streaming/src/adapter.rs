@@ -1,0 +1,146 @@
+//! Row streams → itemset streams.
+//!
+//! The standard reduction from frequent-itemset mining to heavy hitters
+//! feeds every `k`-subset of each arriving row into an items structure.
+//! This costs `C(|row|, k)` updates per row — the blow-up that makes
+//! "just use heavy hitters" uncompetitive with row sampling, which is the
+//! contrast experiment E11 measures. A per-row enumeration budget caps the
+//! damage on dense rows (introducing the approximation real systems accept).
+//!
+//! Itemset identities are their colexicographic ranks (`u64`), so the item
+//! universe is `[0, C(d,k))` and `item_bits = ⌈log₂ C(d,k)⌉`.
+
+use crate::StreamCounter;
+use ifs_database::{Database, Itemset};
+use ifs_util::combin;
+
+/// Feeds every `k`-itemset of each database row into `counter`, up to
+/// `per_row_budget` itemsets per row (enumeration order: colex over the
+/// row's own items). Returns the number of truncated rows.
+pub fn feed_rows<C: StreamCounter<u64>>(
+    db: &Database,
+    k: usize,
+    counter: &mut C,
+    per_row_budget: usize,
+) -> usize {
+    let mut truncated = 0;
+    for r in 0..db.rows() {
+        let row = db.row_itemset(r);
+        let items = row.items();
+        if items.len() < k {
+            continue;
+        }
+        let mut emitted = 0usize;
+        for combo in combin::Combinations::new(items.len() as u32, k as u32) {
+            if emitted >= per_row_budget {
+                truncated += 1;
+                break;
+            }
+            let itemset: Itemset = combo.iter().map(|&i| items[i as usize]).collect();
+            counter.update(itemset.colex_rank());
+            emitted += 1;
+        }
+    }
+    truncated
+}
+
+/// Estimated frequency of an itemset from a row-fed counter: the counter
+/// tracks per-row occurrences, so dividing by the row count gives `f_T`.
+pub fn itemset_frequency<C: StreamCounter<u64>>(
+    counter: &C,
+    itemset: &Itemset,
+    total_rows: usize,
+) -> f64 {
+    if total_rows == 0 {
+        return 0.0;
+    }
+    counter.estimate(&itemset.colex_rank()) as f64 / total_rows as f64
+}
+
+/// Bits needed to identify one `k`-itemset over `d` attributes.
+pub fn itemset_id_bits(d: usize, k: usize) -> u64 {
+    combin::log2_binomial(d as u64, k as u64).ceil().max(1.0) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LossyCounting, MisraGries, SpaceSaving};
+    use ifs_database::generators::{self, Plant};
+    use ifs_util::Rng64;
+
+    fn planted_db(rng: &mut Rng64) -> (Database, Itemset) {
+        let bundle = Itemset::new(vec![2, 9]);
+        let db = generators::planted(
+            2000,
+            16,
+            0.05,
+            &[Plant { itemset: bundle.clone(), frequency: 0.3 }],
+            rng,
+        );
+        (db, bundle)
+    }
+
+    #[test]
+    fn misra_gries_finds_planted_pair() {
+        let mut rng = Rng64::seeded(141);
+        let (db, bundle) = planted_db(&mut rng);
+        let mut mg = MisraGries::new(64, itemset_id_bits(16, 2));
+        let truncated = feed_rows(&db, 2, &mut mg, usize::MAX);
+        assert_eq!(truncated, 0);
+        let f = itemset_frequency(&mg, &bundle, db.rows());
+        let truth = db.frequency(&bundle);
+        // MG underestimates; with 64 counters over C(16,2)=120 ids the gap
+        // is bounded but present.
+        assert!(f <= truth + 1e-9);
+        assert!(f >= truth - 0.75, "estimate {f} vs truth {truth}");
+    }
+
+    #[test]
+    fn space_saving_overestimates_planted_pair() {
+        let mut rng = Rng64::seeded(142);
+        let (db, bundle) = planted_db(&mut rng);
+        let mut ss = SpaceSaving::new(64, itemset_id_bits(16, 2));
+        feed_rows(&db, 2, &mut ss, usize::MAX);
+        let f = itemset_frequency(&ss, &bundle, db.rows());
+        assert!(f >= db.frequency(&bundle) - 1e-9, "SS must not underestimate");
+    }
+
+    #[test]
+    fn lossy_counting_retains_planted_pair() {
+        let mut rng = Rng64::seeded(143);
+        let (db, bundle) = planted_db(&mut rng);
+        let mut lc = LossyCounting::new(0.01, itemset_id_bits(16, 2));
+        feed_rows(&db, 2, &mut lc, usize::MAX);
+        // Note: lossy-counting error is relative to the *itemset stream*
+        // length (all pairs of all rows), not the row count.
+        let est = lc.estimate(&bundle.colex_rank());
+        let truth = db.support(&bundle) as u64;
+        assert!(est <= truth);
+        assert!(truth - est <= lc.error_bound() + 1, "{} vs {}", truth - est, lc.error_bound());
+    }
+
+    #[test]
+    fn per_row_budget_truncates_dense_rows() {
+        // Dense rows: C(12, 2) = 66 pairs per row; budget 10 truncates all.
+        let db = Database::from_fn(5, 12, |_, _| true);
+        let mut mg = MisraGries::new(16, 8);
+        let truncated = feed_rows(&db, 2, &mut mg, 10);
+        assert_eq!(truncated, 5);
+        assert_eq!(mg.stream_len(), 50);
+    }
+
+    #[test]
+    fn short_rows_skipped() {
+        let db = Database::from_rows(6, &[vec![0], vec![1, 2], vec![]]);
+        let mut mg = MisraGries::new(8, 8);
+        feed_rows(&db, 2, &mut mg, usize::MAX);
+        assert_eq!(mg.stream_len(), 1); // only row 1 has a pair
+    }
+
+    #[test]
+    fn id_bits_monotone() {
+        assert!(itemset_id_bits(64, 3) > itemset_id_bits(16, 3));
+        assert!(itemset_id_bits(16, 3) >= itemset_id_bits(16, 1));
+    }
+}

@@ -1,0 +1,61 @@
+//! Streaming heavy-hitter baselines.
+//!
+//! §1.2 of the paper points out that no streaming algorithm for frequent
+//! *itemsets* is known to beat uniform row sampling in space — and the
+//! paper's lower bounds explain why. To make that comparison concrete
+//! (experiment E11), this crate implements the classical frequent-*items*
+//! machinery and adapts it to itemset streams:
+//!
+//! * [`MisraGries`] — deterministic counter-based heavy hitters.
+//! * [`SpaceSaving`] — the Metwally et al. variant with overestimation
+//!   tracking.
+//! * [`LossyCounting`] — Manku–Motwani \[MM02\], the algorithm the paper
+//!   cites as the root of the streaming frequent-itemset literature.
+//! * [`CountMinSketch`] — hashing-based frequency estimation (with optional
+//!   conservative update), the linear-sketch contrast.
+//! * [`CountSketch`] — signed hashing with median estimates.
+//! * [`adapter`] — row streams → itemset streams: every `k`-itemset of each
+//!   arriving row is fed to a heavy-hitter structure, which is the standard
+//!   (and costly: `C(|row|, k)` updates per row) reduction.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adapter;
+mod count_min;
+mod count_sketch;
+mod lossy;
+mod misra_gries;
+mod space_saving;
+
+pub use count_min::CountMinSketch;
+pub use count_sketch::CountSketch;
+pub use lossy::LossyCounting;
+pub use misra_gries::MisraGries;
+pub use space_saving::SpaceSaving;
+
+/// Common interface: feed items, query estimated counts, report space.
+pub trait StreamCounter<T> {
+    /// Processes one arrival of `item`.
+    fn update(&mut self, item: T);
+
+    /// Estimated count of `item` (semantics — under/over-estimate — vary by
+    /// algorithm; see each type's docs).
+    fn estimate(&self, item: &T) -> u64;
+
+    /// Total arrivals processed.
+    fn stream_len(&self) -> u64;
+
+    /// Approximate size of the structure in bits (for space-parity
+    /// comparisons against row-sampling sketches).
+    fn size_bits(&self) -> u64;
+
+    /// Estimated frequency of `item` in `[0, 1]`.
+    fn frequency(&self, item: &T) -> f64 {
+        if self.stream_len() == 0 {
+            0.0
+        } else {
+            self.estimate(item) as f64 / self.stream_len() as f64
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! Lossy Counting — Manku & Motwani [MM02], the algorithm the paper cites
+//! as the origin of streaming frequent-itemset mining.
+//!
+//! The stream is processed in buckets of width `⌈1/ε⌉`; at bucket
+//! boundaries, entries whose count plus bucket slack falls below the current
+//! bucket id are pruned. Estimates underestimate by at most `εN`, and every
+//! item with frequency ≥ ε survives.
+
+use crate::StreamCounter;
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Lossy Counting summary with parameter ε.
+#[derive(Clone, Debug)]
+pub struct LossyCounting<T> {
+    epsilon: f64,
+    bucket_width: u64,
+    current_bucket: u64,
+    /// item -> (count, max undercount Δ at insertion)
+    entries: HashMap<T, (u64, u64)>,
+    len: u64,
+    item_bits: u64,
+    max_entries_seen: usize,
+}
+
+impl<T: Hash + Eq + Clone> LossyCounting<T> {
+    /// Creates a summary with error parameter `ε ∈ (0, 1)`.
+    pub fn new(epsilon: f64, item_bits: u64) -> Self {
+        assert!(epsilon > 0.0 && epsilon < 1.0);
+        let bucket_width = (1.0 / epsilon).ceil() as u64;
+        Self {
+            epsilon,
+            bucket_width,
+            current_bucket: 1,
+            entries: HashMap::new(),
+            len: 0,
+            item_bits,
+            max_entries_seen: 0,
+        }
+    }
+
+    /// The underestimation bound `εN`.
+    pub fn error_bound(&self) -> u64 {
+        (self.epsilon * self.len as f64).ceil() as u64
+    }
+
+    /// Items with estimated frequency at least `theta − ε` — the [MM02]
+    /// query answering "all items with frequency ≥ θ, none below θ − ε".
+    pub fn frequent_items(&self, theta: f64) -> Vec<(T, u64)> {
+        let cutoff = ((theta - self.epsilon) * self.len as f64).max(0.0);
+        self.entries
+            .iter()
+            .filter(|(_, &(c, _))| c as f64 >= cutoff)
+            .map(|(t, &(c, _))| (t.clone(), c))
+            .collect()
+    }
+
+    /// High-water mark of tracked entries (the space actually used; [MM02]
+    /// bounds it by `(1/ε)·log(εN)`).
+    pub fn peak_entries(&self) -> usize {
+        self.max_entries_seen
+    }
+}
+
+impl<T: Hash + Eq + Clone> StreamCounter<T> for LossyCounting<T> {
+    fn update(&mut self, item: T) {
+        self.len += 1;
+        let delta = self.current_bucket - 1;
+        self.entries
+            .entry(item)
+            .and_modify(|e| e.0 += 1)
+            .or_insert((1, delta));
+        self.max_entries_seen = self.max_entries_seen.max(self.entries.len());
+        if self.len % self.bucket_width == 0 {
+            let b = self.current_bucket;
+            self.entries.retain(|_, &mut (c, d)| c + d > b);
+            self.current_bucket += 1;
+        }
+    }
+
+    fn estimate(&self, item: &T) -> u64 {
+        self.entries.get(item).map_or(0, |&(c, _)| c)
+    }
+
+    fn stream_len(&self) -> u64 {
+        self.len
+    }
+
+    fn size_bits(&self) -> u64 {
+        self.max_entries_seen as u64 * (self.item_bits + 128)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ifs_util::Rng64;
+
+    #[test]
+    fn heavy_item_always_survives() {
+        let mut lc = LossyCounting::new(0.05, 32);
+        let mut rng = Rng64::seeded(111);
+        let mut truth = 0u64;
+        for _ in 0..5000 {
+            if rng.bernoulli(0.2) {
+                lc.update(0u32);
+                truth += 1;
+            } else {
+                lc.update(1 + rng.below(10_000) as u32);
+            }
+        }
+        let est = lc.estimate(&0);
+        assert!(est <= truth);
+        assert!(truth - est <= lc.error_bound(), "{} vs {}", truth - est, lc.error_bound());
+        let freq = lc.frequent_items(0.15);
+        assert!(freq.iter().any(|(t, _)| *t == 0), "0 missing from frequent items");
+    }
+
+    #[test]
+    fn rare_items_get_pruned() {
+        let mut lc = LossyCounting::new(0.1, 32);
+        // 1000 distinct singletons: all should be pruned along the way.
+        for i in 0..1000u32 {
+            lc.update(i);
+        }
+        assert!(
+            lc.entries.len() < 100,
+            "pruning failed: {} entries for 1000 singletons",
+            lc.entries.len()
+        );
+    }
+
+    #[test]
+    fn no_false_negatives_at_threshold() {
+        // Every item with true frequency >= θ appears in frequent_items(θ).
+        let mut lc = LossyCounting::new(0.02, 32);
+        let mut counts = std::collections::HashMap::new();
+        let mut rng = Rng64::seeded(112);
+        for _ in 0..4000 {
+            let x = if rng.bernoulli(0.5) { rng.below(4) as u32 } else { 100 + rng.below(5000) as u32 };
+            *counts.entry(x).or_insert(0u64) += 1;
+            lc.update(x);
+        }
+        let theta = 0.05;
+        let reported: std::collections::HashSet<u32> =
+            lc.frequent_items(theta).into_iter().map(|(t, _)| t).collect();
+        for (&item, &c) in &counts {
+            if c as f64 / 4000.0 >= theta {
+                assert!(reported.contains(&item), "missing frequent item {item}");
+            }
+        }
+    }
+
+    #[test]
+    fn space_grows_sublinearly() {
+        let mut lc = LossyCounting::new(0.05, 32);
+        for i in 0..20_000u32 {
+            lc.update(i % 5000);
+        }
+        // Peak entries far below distinct count.
+        assert!(lc.peak_entries() < 2500, "peak {}", lc.peak_entries());
+    }
+}

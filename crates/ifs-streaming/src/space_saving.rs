@@ -1,0 +1,127 @@
+//! SpaceSaving (Metwally–Agrawal–El Abbadi): heavy hitters that never
+//! underestimate.
+//!
+//! Keeps `m` (item, count, overestimate) triples; an unseen arrival evicts
+//! the minimum-count item and inherits its count. Estimates satisfy
+//! `true ≤ estimate ≤ true + N/m`.
+
+use crate::StreamCounter;
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// SpaceSaving summary with a fixed counter budget.
+#[derive(Clone, Debug)]
+pub struct SpaceSaving<T> {
+    capacity: usize,
+    /// item -> (count, overestimation when adopted)
+    counters: HashMap<T, (u64, u64)>,
+    len: u64,
+    item_bits: u64,
+}
+
+impl<T: Hash + Eq + Clone> SpaceSaving<T> {
+    /// Creates a summary with `capacity ≥ 1` counters.
+    pub fn new(capacity: usize, item_bits: u64) -> Self {
+        assert!(capacity >= 1);
+        Self { capacity, counters: HashMap::with_capacity(capacity), len: 0, item_bits }
+    }
+
+    /// The overestimation bound `N/m`.
+    pub fn error_bound(&self) -> u64 {
+        self.len / self.capacity as u64
+    }
+
+    /// Guaranteed lower bound on the true count of a tracked item
+    /// (`count − overestimate`).
+    pub fn guaranteed_count(&self, item: &T) -> u64 {
+        self.counters.get(item).map_or(0, |&(c, over)| c - over)
+    }
+
+    fn min_entry(&self) -> Option<(T, u64)> {
+        self.counters.iter().min_by_key(|(_, &(c, _))| c).map(|(t, &(c, _))| (t.clone(), c))
+    }
+}
+
+impl<T: Hash + Eq + Clone> StreamCounter<T> for SpaceSaving<T> {
+    fn update(&mut self, item: T) {
+        self.len += 1;
+        if let Some(e) = self.counters.get_mut(&item) {
+            e.0 += 1;
+            return;
+        }
+        if self.counters.len() < self.capacity {
+            self.counters.insert(item, (1, 0));
+            return;
+        }
+        let (evict, min_count) = self.min_entry().expect("capacity >= 1");
+        self.counters.remove(&evict);
+        self.counters.insert(item, (min_count + 1, min_count));
+    }
+
+    fn estimate(&self, item: &T) -> u64 {
+        self.counters.get(item).map_or(0, |&(c, _)| c)
+    }
+
+    fn stream_len(&self) -> u64 {
+        self.len
+    }
+
+    fn size_bits(&self) -> u64 {
+        self.capacity as u64 * (self.item_bits + 128)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn never_underestimates_tracked_heavy_item() {
+        let mut ss = SpaceSaving::new(8, 32);
+        let mut stream = Vec::new();
+        for i in 0..900u32 {
+            stream.push(if i % 3 == 0 { 7u32 } else { 100 + i });
+        }
+        for &x in &stream {
+            ss.update(x);
+        }
+        let truth = stream.iter().filter(|&&x| x == 7).count() as u64;
+        let est = ss.estimate(&7);
+        assert!(est >= truth, "SpaceSaving must overestimate: {est} < {truth}");
+        assert!(est - truth <= ss.error_bound());
+    }
+
+    #[test]
+    fn guaranteed_count_is_a_lower_bound() {
+        let mut ss = SpaceSaving::new(4, 32);
+        for i in 0..200u32 {
+            ss.update(if i % 2 == 0 { 1u32 } else { 2 + i });
+        }
+        let truth = 100u64;
+        assert!(ss.guaranteed_count(&1) <= truth);
+        assert!(ss.estimate(&1) >= truth);
+    }
+
+    #[test]
+    fn eviction_inherits_min_count() {
+        let mut ss = SpaceSaving::new(2, 32);
+        ss.update("a");
+        ss.update("a");
+        ss.update("b");
+        // "c" evicts "b" (count 1) and starts at 2 with overestimate 1.
+        ss.update("c");
+        assert_eq!(ss.estimate(&"c"), 2);
+        assert_eq!(ss.guaranteed_count(&"c"), 1);
+        assert_eq!(ss.estimate(&"b"), 0);
+    }
+
+    #[test]
+    fn exact_under_capacity() {
+        let mut ss = SpaceSaving::new(10, 32);
+        for _ in 0..6 {
+            ss.update(42u32);
+        }
+        assert_eq!(ss.estimate(&42), 6);
+        assert_eq!(ss.guaranteed_count(&42), 6);
+    }
+}

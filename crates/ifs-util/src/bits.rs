@@ -1,0 +1,195 @@
+//! Bit-vector helpers shared by the packed database representation.
+//!
+//! Bit-vectors are stored little-endian in `u64` words: bit `i` lives in word
+//! `i / 64` at position `i % 64`. All helpers treat the slice as exactly
+//! `words.len() * 64` bits; higher layers are responsible for keeping the
+//! tail bits of the last word clear (see [`mask_tail`]).
+
+/// Number of 64-bit words needed to hold `bits` bits.
+#[inline]
+pub fn words_for(bits: usize) -> usize {
+    bits.div_ceil(64)
+}
+
+/// Reads bit `i`.
+#[inline]
+pub fn get(words: &[u64], i: usize) -> bool {
+    (words[i / 64] >> (i % 64)) & 1 == 1
+}
+
+/// Sets bit `i` to `value`.
+#[inline]
+pub fn set(words: &mut [u64], i: usize, value: bool) {
+    let mask = 1u64 << (i % 64);
+    if value {
+        words[i / 64] |= mask;
+    } else {
+        words[i / 64] &= !mask;
+    }
+}
+
+/// Clears any bits at positions `>= len` in the final word.
+#[inline]
+pub fn mask_tail(words: &mut [u64], len: usize) {
+    if len % 64 != 0 {
+        if let Some(last) = words.last_mut() {
+            *last &= (1u64 << (len % 64)) - 1;
+        }
+    }
+}
+
+/// Population count across the slice.
+#[inline]
+pub fn count_ones(words: &[u64]) -> usize {
+    words.iter().map(|w| w.count_ones() as usize).sum()
+}
+
+/// Returns true iff `sub` is a subset of `sup` bit-wise
+/// (i.e. `sub & !sup == 0`). Slices must have equal length.
+#[inline]
+pub fn is_subset(sub: &[u64], sup: &[u64]) -> bool {
+    debug_assert_eq!(sub.len(), sup.len());
+    sub.iter().zip(sup).all(|(a, b)| a & !b == 0)
+}
+
+/// `dst &= src` element-wise.
+#[inline]
+pub fn and_assign(dst: &mut [u64], src: &[u64]) {
+    debug_assert_eq!(dst.len(), src.len());
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d &= s;
+    }
+}
+
+/// `dst |= src` element-wise.
+#[inline]
+pub fn or_assign(dst: &mut [u64], src: &[u64]) {
+    debug_assert_eq!(dst.len(), src.len());
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d |= s;
+    }
+}
+
+/// Popcount of the intersection `a & b` without allocating.
+#[inline]
+pub fn and_count(a: &[u64], b: &[u64]) -> usize {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| (x & y).count_ones() as usize).sum()
+}
+
+/// Iterates the positions of set bits in increasing order.
+pub fn ones(words: &[u64]) -> impl Iterator<Item = usize> + '_ {
+    words.iter().enumerate().flat_map(|(wi, &w)| {
+        let mut rem = w;
+        std::iter::from_fn(move || {
+            if rem == 0 {
+                None
+            } else {
+                let tz = rem.trailing_zeros() as usize;
+                rem &= rem - 1;
+                Some(wi * 64 + tz)
+            }
+        })
+    })
+}
+
+/// Hamming distance between two equal-length slices.
+#[inline]
+pub fn hamming(a: &[u64], b: &[u64]) -> usize {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| (x ^ y).count_ones() as usize).sum()
+}
+
+/// Packs a `&[bool]` into words.
+pub fn pack(bits: &[bool]) -> Vec<u64> {
+    let mut words = vec![0u64; words_for(bits.len())];
+    for (i, &b) in bits.iter().enumerate() {
+        if b {
+            words[i / 64] |= 1 << (i % 64);
+        }
+    }
+    words
+}
+
+/// Unpacks `len` bits into a `Vec<bool>`.
+pub fn unpack(words: &[u64], len: usize) -> Vec<bool> {
+    (0..len).map(|i| get(words, i)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut w = vec![0u64; 3];
+        for i in [0usize, 1, 63, 64, 65, 127, 128, 191] {
+            assert!(!get(&w, i));
+            set(&mut w, i, true);
+            assert!(get(&w, i));
+        }
+        assert_eq!(count_ones(&w), 8);
+        set(&mut w, 64, false);
+        assert!(!get(&w, 64));
+        assert_eq!(count_ones(&w), 7);
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let bits: Vec<bool> = (0..130).map(|i| i % 3 == 0).collect();
+        let words = pack(&bits);
+        assert_eq!(unpack(&words, bits.len()), bits);
+    }
+
+    #[test]
+    fn subset_relation() {
+        let a = pack(&[true, false, true, false]);
+        let b = pack(&[true, true, true, false]);
+        assert!(is_subset(&a, &b));
+        assert!(!is_subset(&b, &a));
+        assert!(is_subset(&a, &a));
+    }
+
+    #[test]
+    fn ones_iterates_in_order() {
+        let mut w = vec![0u64; 2];
+        for i in [3usize, 64, 70, 127] {
+            set(&mut w, i, true);
+        }
+        assert_eq!(ones(&w).collect::<Vec<_>>(), vec![3, 64, 70, 127]);
+    }
+
+    #[test]
+    fn hamming_distance() {
+        let a = pack(&[true, false, true, true]);
+        let b = pack(&[true, true, false, true]);
+        assert_eq!(hamming(&a, &b), 2);
+        assert_eq!(hamming(&a, &a), 0);
+    }
+
+    #[test]
+    fn and_count_matches_manual() {
+        let a = pack(&(0..200).map(|i| i % 2 == 0).collect::<Vec<_>>());
+        let b = pack(&(0..200).map(|i| i % 3 == 0).collect::<Vec<_>>());
+        let expect = (0..200).filter(|i| i % 2 == 0 && i % 3 == 0).count();
+        assert_eq!(and_count(&a, &b), expect);
+    }
+
+    #[test]
+    fn mask_tail_clears_high_bits() {
+        let mut w = vec![u64::MAX; 2];
+        mask_tail(&mut w, 70);
+        assert_eq!(w[1], (1u64 << 6) - 1);
+        assert_eq!(w[0], u64::MAX);
+    }
+
+    #[test]
+    fn or_and_assign() {
+        let mut a = pack(&[true, false, false, true]);
+        let b = pack(&[false, true, false, true]);
+        or_assign(&mut a, &b);
+        assert_eq!(unpack(&a, 4), vec![true, true, false, true]);
+        and_assign(&mut a, &b);
+        assert_eq!(unpack(&a, 4), vec![false, true, false, true]);
+    }
+}

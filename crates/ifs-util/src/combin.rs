@@ -1,0 +1,278 @@
+//! Combinatorics: binomial coefficients and combination (un)ranking.
+//!
+//! The `RELEASE-ANSWERS` sketch (Definition 7 of the paper) stores one answer
+//! per `k`-itemset. To avoid storing the itemsets themselves we rank each
+//! `k`-subset of `[d]` into `[0, C(d,k))` in colexicographic order; the store
+//! is then a flat array indexed by rank. This module provides exact (checked)
+//! binomial coefficients, `log2 C(d,k)` for the bound formulas, and the
+//! rank/unrank bijection.
+
+/// Exact binomial coefficient `C(n, k)` as `u128`, or `None` on overflow.
+///
+/// Uses the multiplicative formula with interleaved division so intermediate
+/// values stay exact.
+pub fn binomial_checked(n: u64, k: u64) -> Option<u128> {
+    if k > n {
+        return Some(0);
+    }
+    let k = k.min(n - k);
+    let mut acc: u128 = 1;
+    for i in 0..k {
+        // acc·(n−i)/(i+1) is exactly C(n, i+1). Cancel gcd(n−i, i+1) first so
+        // the remaining divisor divides acc, keeping the intermediate equal to
+        // the step result (no overflow headroom needed beyond the answer).
+        let mut m = (n - i) as u128;
+        let mut d = (i + 1) as u128;
+        let g = gcd_u128(m, d);
+        m /= g;
+        d /= g;
+        acc = (acc / d).checked_mul(m)?;
+    }
+    Some(acc)
+}
+
+fn gcd_u128(mut a: u128, mut b: u128) -> u128 {
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a
+}
+
+/// Binomial coefficient saturated at `u128::MAX`.
+pub fn binomial(n: u64, k: u64) -> u128 {
+    binomial_checked(n, k).unwrap_or(u128::MAX)
+}
+
+/// Binomial coefficient as `u64`, panicking if it does not fit.
+///
+/// The answer stores and rank/unrank routines require the count to fit in a
+/// machine word; all experiment parameters in this reproduction do.
+pub fn binomial_u64(n: u64, k: u64) -> u64 {
+    let b = binomial(n, k);
+    u64::try_from(b).unwrap_or_else(|_| panic!("C({n},{k}) = {b} does not fit in u64"))
+}
+
+/// `log2 C(n, k)` computed in floating point via `ln Γ`, accurate enough for
+/// the space-bound formulas of Theorem 12 (never used for exact counting).
+pub fn log2_binomial(n: u64, k: u64) -> f64 {
+    if k > n {
+        return f64::NEG_INFINITY;
+    }
+    (ln_gamma((n + 1) as f64) - ln_gamma((k + 1) as f64) - ln_gamma((n - k + 1) as f64))
+        / std::f64::consts::LN_2
+}
+
+/// Lanczos approximation of `ln Γ(x)` for `x > 0`.
+pub fn ln_gamma(x: f64) -> f64 {
+    // g = 7, n = 9 Lanczos coefficients (standard choice).
+    const G: f64 = 7.0;
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_93,
+        676.520_368_121_885_1,
+        -1259.139_216_722_402_8,
+        771.323_428_777_653_13,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_571_6e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut a = COEF[0];
+    let t = x + G + 0.5;
+    for (i, &c) in COEF.iter().enumerate().skip(1) {
+        a += c / (x + i as f64);
+    }
+    0.5 * (std::f64::consts::TAU).ln() + (x + 0.5) * t.ln() - t + a.ln()
+}
+
+/// Ranks a strictly increasing combination `comb ⊆ [0, n)` in
+/// colexicographic order: `rank = Σ_j C(comb[j], j+1)`.
+///
+/// Colex ranking is independent of `n`, which lets the answer store grow `d`
+/// without re-ranking.
+pub fn rank_colex(comb: &[u32]) -> u64 {
+    debug_assert!(comb.windows(2).all(|w| w[0] < w[1]), "combination must be strictly increasing");
+    comb.iter()
+        .enumerate()
+        .map(|(j, &c)| binomial_u64(c as u64, (j + 1) as u64))
+        .sum()
+}
+
+/// Inverse of [`rank_colex`]: returns the `k` elements of the combination
+/// with the given colex rank, in increasing order.
+pub fn unrank_colex(mut rank: u64, k: u32) -> Vec<u32> {
+    let mut out = vec![0u32; k as usize];
+    for j in (1..=k).rev() {
+        // Largest c with C(c, j) <= rank.
+        let mut c = j - 1; // C(j-1, j) = 0 <= rank always
+        // Exponential search then linear refine; combinations here are small.
+        let mut step = 1u32;
+        while binomial((c + step) as u64, j as u64) <= rank as u128 {
+            c += step;
+            step = step.saturating_mul(2);
+        }
+        step /= 2;
+        while step > 0 {
+            if binomial((c + step) as u64, j as u64) <= rank as u128 {
+                c += step;
+            }
+            step /= 2;
+        }
+        rank -= binomial_u64(c as u64, j as u64);
+        out[(j - 1) as usize] = c;
+    }
+    debug_assert_eq!(rank, 0);
+    out
+}
+
+/// Iterator over all `k`-combinations of `[0, n)` in colexicographic order.
+///
+/// Colex order means the rank of each emitted combination equals its position
+/// in the stream, matching [`rank_colex`].
+#[derive(Clone, Debug)]
+pub struct Combinations {
+    n: u32,
+    current: Option<Vec<u32>>,
+}
+
+impl Combinations {
+    /// All `k`-subsets of `[0, n)`.
+    pub fn new(n: u32, k: u32) -> Self {
+        let current = if k <= n { Some((0..k).collect()) } else { None };
+        Self { n, current }
+    }
+}
+
+impl Iterator for Combinations {
+    type Item = Vec<u32>;
+
+    fn next(&mut self) -> Option<Vec<u32>> {
+        let cur = self.current.as_mut()?;
+        let out = cur.clone();
+        // Colex successor: find the smallest index i where cur[i] + 1 is not
+        // cur[i+1] (or where i is the last index and cur[i]+1 < n); increment
+        // it and reset everything below to 0,1,...,i-1.
+        let k = cur.len();
+        if k == 0 {
+            self.current = None;
+            return Some(out);
+        }
+        let mut i = 0;
+        loop {
+            if i + 1 < k {
+                if cur[i] + 1 < cur[i + 1] {
+                    break;
+                }
+            } else {
+                if cur[i] + 1 < self.n {
+                    break;
+                }
+                self.current = None;
+                return Some(out);
+            }
+            i += 1;
+        }
+        cur[i] += 1;
+        for (j, slot) in cur.iter_mut().enumerate().take(i) {
+            *slot = j as u32;
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binomial_small_values() {
+        assert_eq!(binomial(0, 0), 1);
+        assert_eq!(binomial(5, 0), 1);
+        assert_eq!(binomial(5, 5), 1);
+        assert_eq!(binomial(5, 2), 10);
+        assert_eq!(binomial(10, 3), 120);
+        assert_eq!(binomial(52, 5), 2_598_960);
+        assert_eq!(binomial(3, 7), 0);
+    }
+
+    #[test]
+    fn binomial_pascal_identity() {
+        for n in 1..40u64 {
+            for k in 1..=n {
+                assert_eq!(binomial(n, k), binomial(n - 1, k - 1) + binomial(n - 1, k));
+            }
+        }
+    }
+
+    #[test]
+    fn binomial_checked_overflow() {
+        assert!(binomial_checked(300, 150).is_none());
+        assert!(binomial_checked(128, 64).is_some());
+    }
+
+    #[test]
+    fn log2_binomial_matches_exact() {
+        for (n, k) in [(10u64, 3u64), (64, 8), (100, 2), (128, 5)] {
+            let exact = (binomial(n, k) as f64).log2();
+            let approx = log2_binomial(n, k);
+            assert!((exact - approx).abs() < 1e-6, "C({n},{k}): {exact} vs {approx}");
+        }
+    }
+
+    #[test]
+    fn ln_gamma_known_values() {
+        assert!((ln_gamma(1.0)).abs() < 1e-10);
+        assert!((ln_gamma(2.0)).abs() < 1e-10);
+        // Γ(5) = 24
+        assert!((ln_gamma(5.0) - 24f64.ln()).abs() < 1e-9);
+        // Γ(0.5) = sqrt(pi)
+        assert!((ln_gamma(0.5) - 0.5 * std::f64::consts::PI.ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rank_unrank_roundtrip() {
+        for (n, k) in [(8u32, 3u32), (10, 1), (10, 5), (12, 4)] {
+            let total = binomial_u64(n as u64, k as u64);
+            for r in 0..total {
+                let comb = unrank_colex(r, k);
+                assert_eq!(comb.len(), k as usize);
+                assert!(comb.windows(2).all(|w| w[0] < w[1]));
+                assert!(comb.iter().all(|&c| c < n));
+                assert_eq!(rank_colex(&comb), r, "roundtrip failed at rank {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn combinations_enumerates_in_colex_order() {
+        for (n, k) in [(6u32, 3u32), (5, 1), (5, 5), (7, 2)] {
+            let all: Vec<Vec<u32>> = Combinations::new(n, k).collect();
+            assert_eq!(all.len(), binomial_u64(n as u64, k as u64) as usize);
+            for (i, comb) in all.iter().enumerate() {
+                assert_eq!(rank_colex(comb), i as u64);
+            }
+            // Distinctness
+            let mut sorted = all.clone();
+            sorted.sort();
+            sorted.dedup();
+            assert_eq!(sorted.len(), all.len());
+        }
+    }
+
+    #[test]
+    fn combinations_k_zero() {
+        let all: Vec<Vec<u32>> = Combinations::new(5, 0).collect();
+        assert_eq!(all, vec![Vec::<u32>::new()]);
+    }
+
+    #[test]
+    fn combinations_k_exceeds_n() {
+        assert_eq!(Combinations::new(3, 4).count(), 0);
+    }
+}

@@ -1,0 +1,32 @@
+//! Shared utilities for the `itemset-sketches` workspace.
+//!
+//! This crate deliberately has no dependency on the rest of the workspace so
+//! that every other crate can lean on it. It provides:
+//!
+//! * [`rng`] — deterministic, seedable random number generation. Every
+//!   randomized component in the reproduction threads a seed through so that
+//!   experiments are exactly replayable.
+//! * [`combin`] — binomial coefficients, combination ranking/unranking in
+//!   colexicographic order, and combination iteration. These power the
+//!   `RELEASE-ANSWERS` sketch (which stores one slot per `k`-itemset) and the
+//!   shattered-set constructions.
+//! * [`bits`] — bit-level helpers used by the packed database representation.
+//! * [`tail`] — the Chernoff bounds of Lemmas 10 and 11 of the paper, exact
+//!   binomial tails for small sample counts, and the sample-size calculators
+//!   behind the `SUBSAMPLE` sketch (Lemma 9).
+//! * [`stats`] — summary statistics, medians, and the log–log slope fits used
+//!   by EXPERIMENTS.md to validate asymptotic shapes.
+//! * [`table`] — a tiny plain-text/CSV table writer used by the `tables`
+//!   experiment binary (we avoid serde on purpose; see DESIGN.md §6).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bits;
+pub mod combin;
+pub mod rng;
+pub mod stats;
+pub mod table;
+pub mod tail;
+
+pub use rng::Rng64;

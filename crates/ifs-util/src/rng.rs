@@ -1,0 +1,200 @@
+//! Deterministic random number generation.
+//!
+//! All randomized algorithms in this workspace take a seed (or an `&mut`
+//! generator) explicitly. This module wraps the `rand` crate behind a small
+//! façade so that (a) the rest of the workspace is insulated from `rand` API
+//! churn and (b) every experiment in EXPERIMENTS.md states its seed and can be
+//! replayed bit-for-bit.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A seedable pseudo-random generator with the handful of draws the
+/// workspace needs.
+///
+/// Internally this is `rand`'s `StdRng` (a cryptographically strong PRNG);
+/// strength is irrelevant here but determinism and statistical quality are.
+#[derive(Clone, Debug)]
+pub struct Rng64 {
+    inner: StdRng,
+}
+
+impl Rng64 {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seeded(seed: u64) -> Self {
+        Self { inner: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Derives an independent child generator. Used to give each repetition
+    /// of an experiment its own stream without correlation.
+    pub fn fork(&mut self) -> Self {
+        Self::seeded(self.next_u64())
+    }
+
+    /// Uniform `u64`.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.random()
+    }
+
+    /// Uniform integer in `[0, n)`. Panics if `n == 0`.
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "Rng64::below called with n == 0");
+        self.inner.random_range(0..n)
+    }
+
+    /// Bernoulli draw with success probability `p` (clamped to `[0, 1]`).
+    pub fn bernoulli(&mut self, p: f64) -> bool {
+        let p = p.clamp(0.0, 1.0);
+        self.inner.random_bool(p)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        self.inner.random()
+    }
+
+    /// Standard normal draw via Box–Muller (sufficient for the spectral
+    /// experiments; we do not need ziggurat-level throughput).
+    pub fn gaussian(&mut self) -> f64 {
+        // Draw u in (0,1] to avoid ln(0).
+        let u = 1.0 - self.unit();
+        let v = self.unit();
+        (-2.0 * u.ln()).sqrt() * (std::f64::consts::TAU * v).cos()
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.below(i + 1);
+            xs.swap(i, j);
+        }
+    }
+
+    /// Samples `m` distinct indices from `[0, n)` in increasing order.
+    ///
+    /// Uses Floyd's algorithm: O(m) expected draws, no O(n) allocation.
+    pub fn distinct_sorted(&mut self, n: usize, m: usize) -> Vec<usize> {
+        assert!(m <= n, "cannot sample {m} distinct values from [0,{n})");
+        let mut chosen = std::collections::BTreeSet::new();
+        for j in (n - m)..n {
+            let t = self.below(j + 1);
+            if !chosen.insert(t) {
+                chosen.insert(j);
+            }
+        }
+        chosen.into_iter().collect()
+    }
+
+    /// A random bit-vector of length `len`, packed little-endian into `u64`s.
+    pub fn bit_words(&mut self, len: usize) -> Vec<u64> {
+        let words = len.div_ceil(64);
+        let mut out = Vec::with_capacity(words);
+        for w in 0..words {
+            let mut word = self.next_u64();
+            if w == words - 1 && len % 64 != 0 {
+                word &= (1u64 << (len % 64)) - 1;
+            }
+            out.push(word);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_is_deterministic() {
+        let mut a = Rng64::seeded(42);
+        let mut b = Rng64::seeded(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Rng64::seeded(1);
+        let mut b = Rng64::seeded(2);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 2);
+    }
+
+    #[test]
+    fn below_is_in_range() {
+        let mut r = Rng64::seeded(7);
+        for n in 1..50 {
+            for _ in 0..20 {
+                assert!(r.below(n) < n);
+            }
+        }
+    }
+
+    #[test]
+    fn bernoulli_extremes() {
+        let mut r = Rng64::seeded(3);
+        assert!(!(0..100).any(|_| r.bernoulli(0.0)));
+        assert!((0..100).all(|_| r.bernoulli(1.0)));
+    }
+
+    #[test]
+    fn bernoulli_mean_close() {
+        let mut r = Rng64::seeded(11);
+        let hits = (0..20_000).filter(|_| r.bernoulli(0.3)).count();
+        let mean = hits as f64 / 20_000.0;
+        assert!((mean - 0.3).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn distinct_sorted_properties() {
+        let mut r = Rng64::seeded(5);
+        for _ in 0..50 {
+            let v = r.distinct_sorted(100, 10);
+            assert_eq!(v.len(), 10);
+            assert!(v.windows(2).all(|w| w[0] < w[1]));
+            assert!(v.iter().all(|&x| x < 100));
+        }
+    }
+
+    #[test]
+    fn distinct_sorted_full_range() {
+        let mut r = Rng64::seeded(5);
+        let v = r.distinct_sorted(8, 8);
+        assert_eq!(v, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn bit_words_masks_tail() {
+        let mut r = Rng64::seeded(9);
+        for len in [1usize, 63, 64, 65, 130] {
+            let w = r.bit_words(len);
+            assert_eq!(w.len(), len.div_ceil(64));
+            if len % 64 != 0 {
+                let tail = w.last().unwrap();
+                assert_eq!(tail >> (len % 64), 0, "tail bits must be clear");
+            }
+        }
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut r = Rng64::seeded(13);
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| r.gaussian()).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = Rng64::seeded(17);
+        let mut v: Vec<u32> = (0..64).collect();
+        r.shuffle(&mut v);
+        let mut s = v.clone();
+        s.sort_unstable();
+        assert_eq!(s, (0..64).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,64 @@
+//! The Theorem 15 reconstruction attack, end to end.
+//!
+//! Hides an error-corrected message inside a `v × 2d` database, then
+//! recovers it through nothing but threshold (indicator) queries to a
+//! sketch. A valid sketch *must* leak the whole message — that is the
+//! lower bound — while a byte-budgeted sketch loses it, showing the Ω(dv)
+//! wall is real.
+//!
+//! Run with: `cargo run --release --example reconstruction_attack`
+
+use itemset_sketches::lowerbounds::thm15::Thm15Instance;
+use itemset_sketches::prelude::*;
+
+fn main() {
+    let mut rng = Rng64::seeded(1407);
+    let (d, k) = (64, 3);
+    let eps = 1.0 / 50.0;
+
+    let capacity = Thm15Instance::message_capacity(d, k).expect("feasible parameters");
+    let message: Vec<bool> = (0..capacity).map(|_| rng.bernoulli(0.5)).collect();
+    let inst = Thm15Instance::encode(d, k, &message);
+    println!(
+        "instance: d = {d}, k = {k}, v = {} rows, database {} x {} ({} payload bits hidden)",
+        inst.v(),
+        inst.database().rows(),
+        inst.database().dims(),
+        capacity
+    );
+    println!("attack issues {} indicator queries\n", inst.query_count());
+
+    // 1. A valid (exact) sketch: the attack must extract everything.
+    let exact = ReleaseDb::build(inst.database(), eps);
+    let (acc, decoded) = inst.attack(&exact, eps, &mut rng);
+    println!(
+        "exact sketch      : codeword accuracy {:.3}, message recovered: {}",
+        acc,
+        decoded.as_deref() == Some(&message[..])
+    );
+
+    // 2. Budgeted sketches: subsample with decreasing row budgets. Below the
+    //    information bound the message must die.
+    println!("\n{:>12} {:>12} {:>10} {:>10}", "sample rows", "sketch bits", "cw acc", "message?");
+    for rows in [64usize, 32, 16, 8, 4, 2, 1] {
+        let sketch =
+            Subsample::with_sample_count(inst.database(), rows, eps, &mut rng);
+        let (acc, decoded) = inst.attack(&sketch, eps, &mut rng);
+        println!(
+            "{:>12} {:>12} {:>10.3} {:>10}",
+            rows,
+            sketch.size_bits(),
+            acc,
+            if decoded.as_deref() == Some(&message[..]) { "yes" } else { "lost" }
+        );
+    }
+
+    println!(
+        "\nreading: with all {} rows sampled the sketch answers every threshold query and \
+         the {}-bit message survives; starved samples cross below the Ω(dv) = Ω({}) bit \
+         bound and recovery collapses — the space lower bound in action.",
+        inst.database().rows(),
+        capacity,
+        d * inst.v()
+    );
+}

@@ -1,0 +1,102 @@
+//! Streaming heavy hitters vs row sampling for frequent itemsets (§1.2).
+//!
+//! The paper notes that no streaming algorithm is known to beat uniform row
+//! sampling for itemset frequencies — and its lower bounds explain why.
+//! This example gives both the same space budget and compares recall /
+//! precision on planted frequent pairs.
+//!
+//! Run with: `cargo run --release --example streaming_comparison`
+
+use itemset_sketches::prelude::*;
+use itemset_sketches::streaming::{adapter, LossyCounting, MisraGries, SpaceSaving, StreamCounter};
+use itemset_sketches::util::combin;
+
+fn main() {
+    let mut rng = Rng64::seeded(2002);
+    let (n, d, k) = (20_000usize, 24usize, 2usize);
+
+    // Planted frequent pairs over sparse background.
+    let plants = [
+        (Itemset::new(vec![0, 1]), 0.20),
+        (Itemset::new(vec![2, 3]), 0.15),
+        (Itemset::new(vec![4, 5]), 0.10),
+    ];
+    let specs: Vec<generators::Plant> = plants
+        .iter()
+        .map(|(t, f)| generators::Plant { itemset: t.clone(), frequency: *f })
+        .collect();
+    let db = generators::planted(n, d, 0.03, &specs, &mut rng);
+    let theta = 0.08;
+
+    // Ground truth: all θ-frequent pairs.
+    let truth: Vec<Itemset> = combin::Combinations::new(d as u32, k as u32)
+        .map(Itemset::new)
+        .filter(|t| db.frequency(t) >= theta)
+        .collect();
+    println!("{} pairs are {theta}-frequent (of C({d},{k}) = {})", truth.len(),
+        combin::binomial_u64(d as u64, k as u64));
+
+    // Space budget: a For-Each-Indicator subsample.
+    let params = SketchParams::new(k, theta, 0.05);
+    let sample = Subsample::build(&db, &params, Guarantee::ForEachIndicator, &mut rng);
+    let budget_bits = sample.size_bits();
+    println!("space budget: {} bits (= the Lemma 9 subsample)\n", budget_bits);
+
+    let id_bits = adapter::itemset_id_bits(d, k);
+    let counters = (budget_bits / (id_bits + 64)).max(1) as usize;
+
+    let report = |name: &str, hits: Vec<Itemset>, bits: u64| {
+        let hit_set: std::collections::HashSet<_> = hits.iter().cloned().collect();
+        let truth_set: std::collections::HashSet<_> = truth.iter().cloned().collect();
+        let inter = hit_set.intersection(&truth_set).count() as f64;
+        let recall = if truth.is_empty() { 1.0 } else { inter / truth.len() as f64 };
+        let precision = if hits.is_empty() { 1.0 } else { inter / hits.len() as f64 };
+        println!(
+            "{:<16} {:>10} bits   recall {:>5.3}   precision {:>5.3}",
+            name, bits, recall, precision
+        );
+    };
+
+    // Row sampling: declare frequent via the indicator.
+    let sample_hits: Vec<Itemset> = combin::Combinations::new(d as u32, k as u32)
+        .map(Itemset::new)
+        .filter(|t| sample.is_frequent(t))
+        .collect();
+    report("SUBSAMPLE", sample_hits, sample.size_bits());
+
+    // Misra-Gries over the pair stream.
+    let mut mg = MisraGries::new(counters, id_bits);
+    adapter::feed_rows(&db, k, &mut mg, usize::MAX);
+    let pair_stream_len = mg.stream_len();
+    let mg_hits: Vec<Itemset> = combin::Combinations::new(d as u32, k as u32)
+        .map(Itemset::new)
+        .filter(|t| adapter::itemset_frequency(&mg, t, n) >= 0.75 * theta)
+        .collect();
+    report("MISRA-GRIES", mg_hits, mg.size_bits());
+
+    // SpaceSaving.
+    let mut ss = SpaceSaving::new(counters / 2, id_bits);
+    adapter::feed_rows(&db, k, &mut ss, usize::MAX);
+    let ss_hits: Vec<Itemset> = combin::Combinations::new(d as u32, k as u32)
+        .map(Itemset::new)
+        .filter(|t| adapter::itemset_frequency(&ss, t, n) >= 0.75 * theta)
+        .collect();
+    report("SPACESAVING", ss_hits, ss.size_bits());
+
+    // Lossy counting (Manku-Motwani): ε relative to the pair stream.
+    let mut lc = LossyCounting::new(0.25 * theta * n as f64 / pair_stream_len as f64, id_bits);
+    adapter::feed_rows(&db, k, &mut lc, usize::MAX);
+    let lc_hits: Vec<Itemset> = combin::Combinations::new(d as u32, k as u32)
+        .map(Itemset::new)
+        .filter(|t| adapter::itemset_frequency(&lc, t, n) >= 0.75 * theta)
+        .collect();
+    report("LOSSY-COUNTING", lc_hits, lc.size_bits());
+
+    println!(
+        "\nnote: the itemset stream has {} arrivals from {} rows (C(|row|,{k}) per row) — \
+         the enumeration blow-up that makes heavy-hitter approaches pay for what sampling \
+         gets free; the paper's lower bounds say nothing can do asymptotically better than \
+         the subsample line anyway.",
+        pair_stream_len, n
+    );
+}

@@ -1,0 +1,142 @@
+//! Integration: the encoding arguments hold end-to-end against real
+//! sketches — valid sketches leak everything, starved sketches cannot.
+
+use itemset_sketches::lowerbounds::accounting::{Aggregate, RoundTrip};
+use itemset_sketches::lowerbounds::thm13::HardInstance;
+use itemset_sketches::lowerbounds::thm15::Thm15Instance;
+use itemset_sketches::lowerbounds::thm16::RowProductInstance;
+use itemset_sketches::prelude::*;
+
+fn random_bits(len: usize, rng: &mut Rng64) -> Vec<bool> {
+    (0..len).map(|_| rng.bernoulli(0.5)).collect()
+}
+
+#[test]
+fn thm13_valid_subsample_leaks_payload() {
+    // A For-All-Indicator subsample with δ = 0.05 must reveal ~all payload
+    // bits; recovery rate at least 95% across trials.
+    let mut rng = Rng64::seeded(301);
+    let (d, k, inv_eps) = (16usize, 2usize, 8usize);
+    let eps = 1.0 / inv_eps as f64;
+    let payload = random_bits(HardInstance::capacity(d, inv_eps), &mut rng);
+    let inst = HardInstance::encode(d, k, inv_eps, &payload, 8);
+    let params = SketchParams::new(k, eps, 0.05);
+    let sketch = Subsample::build(inst.database(), &params, Guarantee::ForAllIndicator, &mut rng);
+    let rate = inst.recovery_rate(&inst.decode(&sketch));
+    assert!(rate >= 0.95, "valid sketch recovered only {rate}");
+}
+
+#[test]
+fn thm13_starved_sketch_cannot_leak() {
+    let mut rng = Rng64::seeded(302);
+    let (d, k, inv_eps) = (16usize, 2usize, 8usize);
+    let payload = random_bits(HardInstance::capacity(d, inv_eps), &mut rng);
+    let inst = HardInstance::encode(d, k, inv_eps, &payload, 8);
+    // One sampled row carries d bits; the payload is 64 bits.
+    let sketch = Subsample::with_sample_count(inst.database(), 1, inst.epsilon(), &mut rng);
+    let rate = inst.recovery_rate(&inst.decode(&sketch));
+    assert!(rate < 0.85, "starved sketch recovered {rate} — impossible compression");
+}
+
+#[test]
+fn thm15_roundtrip_through_valid_sketch_and_accounting() {
+    let mut rng = Rng64::seeded(303);
+    let (d, k) = (32usize, 3usize);
+    let eps = 1.0 / 50.0;
+    let capacity = Thm15Instance::message_capacity(d, k).unwrap();
+    let mut agg = Aggregate::default();
+    for _ in 0..3 {
+        let msg = random_bits(capacity, &mut rng);
+        let inst = Thm15Instance::encode(d, k, &msg);
+        let sketch = ReleaseDb::build(inst.database(), eps);
+        let (acc, decoded) = inst.attack(&sketch, eps, &mut rng);
+        agg.push(RoundTrip {
+            payload_bits: capacity as u64,
+            sketch_bits: sketch.size_bits(),
+            recovered_fraction: acc,
+            exact: decoded.as_deref() == Some(&msg[..]),
+        });
+    }
+    assert_eq!(agg.exact_rate(), 1.0, "valid sketch must always leak the message");
+    // The information bound must never be violated: the sketch is larger
+    // than the payload (here trivially, since RELEASE-DB stores 2dv bits).
+    assert!(!agg.any_violation(0.9));
+}
+
+#[test]
+fn thm15_subsample_with_all_rows_still_works() {
+    // Sampling v rows from a v-row database eventually sees every row; with
+    // 4v draws the coupon-collector gap is tiny and the attack succeeds.
+    let mut rng = Rng64::seeded(304);
+    let (d, k) = (32usize, 2usize);
+    let eps = 1.0 / 50.0;
+    let capacity = Thm15Instance::message_capacity(d, k).unwrap();
+    let msg = random_bits(capacity, &mut rng);
+    let inst = Thm15Instance::encode(d, k, &msg);
+    let v = inst.database().rows();
+    let sketch = Subsample::with_sample_count(inst.database(), 8 * v, eps, &mut rng);
+    let (_, decoded) = inst.attack(&sketch, eps, &mut rng);
+    assert_eq!(decoded.as_deref(), Some(&msg[..]), "8v-row sample should carry the message");
+}
+
+#[test]
+fn thm16_estimator_sketch_leaks_secret_column() {
+    let mut rng = Rng64::seeded(305);
+    let secret = random_bits(20, &mut rng);
+    let inst = RowProductInstance::new(6, 2, &secret, &mut rng);
+    // A For-All-Estimator subsample with tight ε on the 20-row database:
+    // sampling many rows gives near-exact answers.
+    let sketch = Subsample::with_sample_count(inst.database(), 4000, 0.01, &mut rng);
+    let answers = inst.answers_from_sketch(&sketch);
+    let decoded = inst.recover_l1(&answers).expect("LP solvable");
+    let acc = inst.accuracy(&decoded);
+    assert!(acc >= 0.95, "estimator sketch leaked only {acc}");
+}
+
+#[test]
+fn thm16_starved_estimator_fails() {
+    let mut rng = Rng64::seeded(306);
+    let secret = random_bits(24, &mut rng);
+    let inst = RowProductInstance::new(6, 2, &secret, &mut rng);
+    let mut accs = Vec::new();
+    for _ in 0..5 {
+        let sketch = Subsample::with_sample_count(inst.database(), 2, 0.01, &mut rng);
+        let answers = inst.answers_from_sketch(&sketch);
+        let acc = inst
+            .recover_l1(&answers)
+            .map(|d| inst.accuracy(&d))
+            .unwrap_or(0.5);
+        accs.push(acc);
+    }
+    let mean = itemset_sketches::util::stats::mean(&accs);
+    assert!(mean < 0.95, "2-row sketch should not reliably carry 24 bits (mean acc {mean})");
+}
+
+#[test]
+fn recovered_bits_never_exceed_sketch_capacity() {
+    // Sweep budgets; whenever exact recovery happens, the sketch must be at
+    // least as large as the payload (information accounting, slack 1.0
+    // because SUBSAMPLE stores raw rows — no entropy coding).
+    let mut rng = Rng64::seeded(307);
+    let (d, k, inv_eps) = (16usize, 2usize, 8usize);
+    let payload = random_bits(HardInstance::capacity(d, inv_eps), &mut rng);
+    let inst = HardInstance::encode(d, k, inv_eps, &payload, 4);
+    for rows in [1usize, 2, 4, 8, 16, 32] {
+        for _ in 0..3 {
+            let sk = Subsample::with_sample_count(inst.database(), rows, inst.epsilon(), &mut rng);
+            let rate = inst.recovery_rate(&inst.decode(&sk));
+            let trip = RoundTrip {
+                payload_bits: payload.len() as u64,
+                sketch_bits: sk.size_bits(),
+                recovered_fraction: rate,
+                exact: rate == 1.0,
+            };
+            assert!(
+                !trip.violates_information_bound(0.8),
+                "rows={rows}: exact recovery from {} bits of sketch for {} payload bits",
+                trip.sketch_bits,
+                trip.payload_bits
+            );
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! Integration: every sketch implementation meets its Definition 1–4
+//! contract on randomized databases.
+
+use itemset_sketches::prelude::*;
+use itemset_sketches::util::combin;
+
+fn all_itemsets(d: usize, k: usize) -> impl Iterator<Item = Itemset> {
+    combin::Combinations::new(d as u32, k as u32).map(Itemset::new)
+}
+
+#[test]
+fn release_db_is_exact_for_all_contracts() {
+    let mut rng = Rng64::seeded(201);
+    let db = generators::uniform(500, 10, 0.3, &mut rng);
+    let eps = 0.1;
+    let sketch = ReleaseDb::build(&db, eps);
+    for t in all_itemsets(10, 2) {
+        let truth = db.frequency(&t);
+        assert_eq!(sketch.estimate(&t), truth);
+        if truth > eps {
+            assert!(sketch.is_frequent(&t));
+        }
+        if truth < eps / 2.0 {
+            assert!(!sketch.is_frequent(&t));
+        }
+    }
+}
+
+#[test]
+fn release_answers_meets_forall_estimator_contract() {
+    let mut rng = Rng64::seeded(202);
+    for trial in 0..3 {
+        let db = generators::uniform(300 + 100 * trial, 9, 0.4, &mut rng);
+        let eps = 0.06;
+        let sketch = ReleaseAnswersEstimator::build(&db, 3, eps);
+        for t in all_itemsets(9, 3) {
+            let err = (sketch.estimate(&t) - db.frequency(&t)).abs();
+            assert!(err <= eps, "trial {trial}: {t} err {err}");
+        }
+    }
+}
+
+#[test]
+fn release_answers_meets_forall_indicator_contract() {
+    let mut rng = Rng64::seeded(203);
+    let db = generators::uniform(400, 10, 0.35, &mut rng);
+    let eps = 0.15;
+    let sketch = ReleaseAnswersIndicator::build(&db, 2, eps);
+    for t in all_itemsets(10, 2) {
+        let truth = db.frequency(&t);
+        if truth > eps {
+            assert!(sketch.is_frequent(&t), "{t} has f={truth} > ε but answered 0");
+        }
+        if truth < eps / 2.0 {
+            assert!(!sketch.is_frequent(&t), "{t} has f={truth} < ε/2 but answered 1");
+        }
+    }
+}
+
+#[test]
+fn subsample_meets_forall_estimator_contract_whp() {
+    // δ = 0.05 over 10 independent sketch draws: all succeeding has
+    // probability ≥ (1 − δ)^10 ≈ 0.6, so allow one failure.
+    let mut rng = Rng64::seeded(204);
+    let db = generators::uniform(30_000, 12, 0.25, &mut rng);
+    let params = SketchParams::new(2, 0.05, 0.05);
+    let mut failures = 0;
+    for _ in 0..10 {
+        let sketch = Subsample::build(&db, &params, Guarantee::ForAllEstimator, &mut rng);
+        let bad = all_itemsets(12, 2)
+            .any(|t| (sketch.estimate(&t) - db.frequency(&t)).abs() > params.epsilon);
+        if bad {
+            failures += 1;
+        }
+    }
+    assert!(failures <= 1, "{failures}/10 sketch draws violated the for-all guarantee");
+}
+
+#[test]
+fn subsample_foreach_indicator_contract_per_itemset() {
+    let mut rng = Rng64::seeded(205);
+    let hot = Itemset::new(vec![0, 1]);
+    let cold = Itemset::new(vec![8, 9]);
+    let db = generators::planted(
+        20_000,
+        10,
+        0.0,
+        &[
+            generators::Plant { itemset: hot.clone(), frequency: 0.2 },
+            generators::Plant { itemset: cold.clone(), frequency: 0.02 },
+        ],
+        &mut rng,
+    );
+    let params = SketchParams::new(2, 0.08, 0.05);
+    let mut hot_wrong = 0;
+    let mut cold_wrong = 0;
+    let trials = 40;
+    for _ in 0..trials {
+        let sketch = Subsample::build(&db, &params, Guarantee::ForEachIndicator, &mut rng);
+        if !sketch.is_frequent(&hot) {
+            hot_wrong += 1;
+        }
+        if sketch.is_frequent(&cold) {
+            cold_wrong += 1;
+        }
+    }
+    // Each failure probability must be ≈ δ = 0.05; allow generous slack.
+    assert!(hot_wrong <= 4, "hot itemset misclassified {hot_wrong}/{trials}");
+    assert!(cold_wrong <= 4, "cold itemset misclassified {cold_wrong}/{trials}");
+}
+
+#[test]
+fn estimator_as_indicator_adapter_contract() {
+    let mut rng = Rng64::seeded(206);
+    let db = generators::uniform(20_000, 10, 0.2, &mut rng);
+    // Estimator with error ε/4 thresholded at 3ε/4 satisfies the indicator
+    // contract (Definition 1) — check on a fresh draw.
+    let eps = 0.1;
+    let params = SketchParams::new(2, eps / 4.0, 0.02);
+    let est = Subsample::build(&db, &params, Guarantee::ForAllEstimator, &mut rng);
+    let ind = EstimatorAsIndicator::new(est, eps);
+    for t in all_itemsets(10, 2) {
+        let truth = db.frequency(&t);
+        if truth > eps {
+            assert!(ind.is_frequent(&t), "{t}: f={truth}");
+        }
+        if truth < eps / 2.0 {
+            assert!(!ind.is_frequent(&t), "{t}: f={truth}");
+        }
+    }
+}
+
+#[test]
+fn median_boost_upgrades_foreach_to_forall() {
+    let mut rng = Rng64::seeded(207);
+    let db = generators::uniform(20_000, 10, 0.3, &mut rng);
+    let eps = 0.05;
+    // Per-copy: weak For-Each guarantee (δ = 0.3!).
+    let params = SketchParams::new(2, eps, 0.3);
+    let per_copy = Subsample::sample_count(10, &params, Guarantee::ForEachEstimator);
+    let r = MedianBoost::<Subsample>::copies_for(10, 2, 0.05);
+    let boost =
+        MedianBoost::build_with(r, |_| Subsample::with_sample_count(&db, per_copy, eps, &mut rng));
+    let worst = all_itemsets(10, 2)
+        .map(|t| (boost.estimate(&t) - db.frequency(&t)).abs())
+        .fold(0.0f64, f64::max);
+    assert!(worst <= eps, "boosted max error {worst} > ε={eps}");
+}
+
+#[test]
+fn sketch_sizes_are_consistent_with_bounds_module() {
+    use itemset_sketches::core::bounds;
+    let mut rng = Rng64::seeded(208);
+    let (n, d, k, eps) = (5_000usize, 16usize, 2usize, 0.05f64);
+    let db = generators::uniform(n, d, 0.3, &mut rng);
+    let params = SketchParams::new(k, eps, 0.1);
+    let regime =
+        bounds::Regime { n: n as u64, d: d as u64, k: k as u64, epsilon: eps, delta: 0.1 };
+    // Measured sizes within a small constant of the formulas.
+    let sub = Subsample::build(&db, &params, Guarantee::ForAllEstimator, &mut rng);
+    let predicted = bounds::subsample_bits(&regime, Guarantee::ForAllEstimator);
+    let ratio = sub.size_bits() as f64 / predicted;
+    // The serialized form pads each row to whole u64 words: at d = 16 that
+    // alone is a 4x overhead versus the formula's d bits per row.
+    assert!((0.5..6.0).contains(&ratio), "subsample size off formula by {ratio}x");
+    let ans = ReleaseAnswersIndicator::build(&db, k, eps);
+    let predicted = bounds::release_answers_bits(&regime, Guarantee::ForAllIndicator);
+    let ratio = ans.size_bits() as f64 / predicted;
+    assert!((0.5..4.0).contains(&ratio), "answers size off formula by {ratio}x");
+}
