@@ -55,9 +55,8 @@ fn bench_bitpack_ablation(c: &mut Criterion) {
     g.bench_function("per_column_probe", |b| {
         b.iter(|| {
             let items = t.items();
-            let count = (0..db.rows())
-                .filter(|&r| items.iter().all(|&c| db.get(r, c as usize)))
-                .count();
+            let count =
+                (0..db.rows()).filter(|&r| items.iter().all(|&c| db.get(r, c as usize))).count();
             black_box(count)
         });
     });

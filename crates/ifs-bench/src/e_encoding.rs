@@ -108,17 +108,9 @@ pub fn e5_shattering() -> Vec<Table> {
         "E5: Fact 18 shattered sets — all 2^v patterns realized by k'-itemsets",
         &["d", "k_prime", "v", "patterns_checked", "all_realized"],
     );
-    for &(d, kp) in &[
-        (8usize, 1usize),
-        (16, 1),
-        (8, 2),
-        (16, 2),
-        (32, 2),
-        (12, 3),
-        (24, 3),
-        (16, 4),
-        (64, 2),
-    ] {
+    for &(d, kp) in
+        &[(8usize, 1usize), (16, 1), (8, 2), (16, 2), (32, 2), (12, 3), (24, 3), (16, 4), (64, 2)]
+    {
         let sh = ShatteredSet::new(d, kp);
         let v = sh.v();
         let mut all_ok = true;
@@ -214,12 +206,9 @@ pub fn e7_amplification() -> Vec<Table> {
         let amp = AmplifiedInstance::encode(d, k, &msgs);
         let sketch = ReleaseDb::build(amp.database(), amp.epsilon());
         let results = amp.attack_all(&sketch, &mut rng);
-        let all_ok = results
-            .iter()
-            .zip(&msgs)
-            .all(|((_, dec), msg)| dec.as_deref() == Some(&msg[..]));
-        let mean_acc =
-            stats::mean(&results.iter().map(|(a, _)| *a).collect::<Vec<_>>());
+        let all_ok =
+            results.iter().zip(&msgs).all(|((_, dec), msg)| dec.as_deref() == Some(&msg[..]));
+        let mean_acc = stats::mean(&results.iter().map(|(a, _)| *a).collect::<Vec<_>>());
         t.row(vec![
             i(m as u64),
             f(amp.epsilon()),

@@ -19,7 +19,15 @@ pub fn e8_lp_decoding() -> Vec<Table> {
     // (i) + (ii): spectral and section measurements on the ensemble.
     let mut spec = Table::new(
         "E8a: row-product spectra (Lemma 26) and Euclidean sections (Def 23)",
-        &["d0", "k_minus_1", "L_rows", "n_cols", "sigma_min", "sigma_min_over_sqrtL", "delta_section"],
+        &[
+            "d0",
+            "k_minus_1",
+            "L_rows",
+            "n_cols",
+            "sigma_min",
+            "sigma_min_over_sqrtL",
+            "delta_section",
+        ],
     );
     for &(d0, km1) in &[(4usize, 2usize), (6, 2), (8, 2), (10, 2), (12, 2), (4, 3)] {
         let l = d0.pow(km1 as u32);
@@ -57,10 +65,7 @@ pub fn e8_lp_decoding() -> Vec<Table> {
                 let secret = random_bits(n, &mut rng);
                 let inst = RowProductInstance::new(8, 2, &secret, &mut rng);
                 let noisy = perturb_answers(&inst.exact_answers(), eps, 0.0, &mut rng);
-                let acc = inst
-                    .recover_l1(&noisy)
-                    .map(|dec| inst.accuracy(&dec))
-                    .unwrap_or(0.0);
+                let acc = inst.recover_l1(&noisy).map(|dec| inst.accuracy(&dec)).unwrap_or(0.0);
                 accs.push(acc);
             }
             barrier.row(vec![

@@ -1,10 +1,10 @@
 //! Experiments E1, E2, E9, E10: the upper-bound side of the paper.
 
-use ifs_core::{bounds, Guarantee, SketchParams, Subsample};
 use ifs_core::{
     boosting::MedianBoost, FrequencyEstimator, ReleaseAnswersEstimator, ReleaseAnswersIndicator,
     ReleaseDb, Sketch,
 };
+use ifs_core::{bounds, Guarantee, SketchParams, Subsample};
 use ifs_database::{generators, Itemset};
 use ifs_util::table::{f, i, Table};
 use ifs_util::{combin, stats, Rng64};
@@ -16,8 +16,16 @@ pub fn e1_naive_sizes() -> Vec<Table> {
     let mut t = Table::new(
         "E1: naive sketch sizes (bits) vs Theorem 12 formulas",
         &[
-            "n", "d", "k", "eps", "guarantee", "release_db", "release_ans", "subsample",
-            "formula_min", "winner",
+            "n",
+            "d",
+            "k",
+            "eps",
+            "guarantee",
+            "release_db",
+            "release_ans",
+            "subsample",
+            "formula_min",
+            "winner",
         ],
     );
     for &(n, d, k, eps) in &[

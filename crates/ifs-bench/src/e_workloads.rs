@@ -1,6 +1,8 @@
 //! Experiments E11–E13: the workload-level comparisons motivating the paper.
 
-use ifs_core::{FrequencyEstimator, FrequencyIndicator, Guarantee, SketchParams, Sketch, Subsample};
+use ifs_core::{
+    FrequencyEstimator, FrequencyIndicator, Guarantee, Sketch, SketchParams, Subsample,
+};
 use ifs_database::{generators, Database, Itemset};
 use ifs_mining::{apriori, biclique, oracle, rules};
 use ifs_streaming::{adapter, MisraGries, SpaceSaving, StreamCounter};
@@ -13,18 +15,14 @@ use std::time::Instant;
 pub fn e11_streaming_vs_sampling() -> Vec<Table> {
     let mut rng = Rng64::seeded(0xE11);
     let (n, d, k) = (20_000usize, 24usize, 2usize);
-    let plants: Vec<generators::Plant> = [
-        (vec![0u32, 1u32], 0.20f64),
-        (vec![2, 3], 0.15),
-        (vec![4, 5], 0.10),
-        (vec![6, 7], 0.06),
-    ]
-    .iter()
-    .map(|(items, freq)| generators::Plant {
-        itemset: Itemset::new(items.clone()),
-        frequency: *freq,
-    })
-    .collect();
+    let plants: Vec<generators::Plant> =
+        [(vec![0u32, 1u32], 0.20f64), (vec![2, 3], 0.15), (vec![4, 5], 0.10), (vec![6, 7], 0.06)]
+            .iter()
+            .map(|(items, freq)| generators::Plant {
+                itemset: Itemset::new(items.clone()),
+                frequency: *freq,
+            })
+            .collect();
     let db = generators::planted(n, d, 0.03, &plants, &mut rng);
     let theta = 0.08;
     let truth: Vec<Itemset> = combin::Combinations::new(d as u32, k as u32)
@@ -117,7 +115,11 @@ pub fn e12_mining_on_sketch() -> Vec<Table> {
     let mut t = Table::new(
         "E12: mining on a sketch vs the database (theta=0.10, k<=3)",
         &[
-            "eps", "sketch_bits", "itemset_recall", "itemset_precision", "max_freq_err",
+            "eps",
+            "sketch_bits",
+            "itemset_recall",
+            "itemset_precision",
+            "max_freq_err",
             "max_rule_conf_err",
         ],
     );

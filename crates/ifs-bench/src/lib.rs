@@ -21,9 +21,8 @@ pub mod e_workloads;
 use ifs_util::table::Table;
 
 /// All experiment ids in order.
-pub const ALL_EXPERIMENTS: [&str; 13] = [
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
-];
+pub const ALL_EXPERIMENTS: [&str; 13] =
+    ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13"];
 
 /// Runs one experiment by id.
 pub fn run(id: &str) -> Vec<Table> {

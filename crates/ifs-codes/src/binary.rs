@@ -60,11 +60,8 @@ impl BinaryLinearCode {
             }
             codewords.push(cw);
         }
-        let min_distance = codewords[1..]
-            .iter()
-            .map(|cw| cw.count_ones() as usize)
-            .min()
-            .unwrap_or(0);
+        let min_distance =
+            codewords[1..].iter().map(|cw| cw.count_ones() as usize).min().unwrap_or(0);
         Self { n_in, rows, codewords, min_distance }
     }
 

@@ -47,18 +47,17 @@ impl ConcatenatedCode {
     pub fn for_codeword_bits(n_bits: usize, gamma: f64) -> Option<Self> {
         let inner = Self::default_inner();
         let l_in = inner.block_len();
-        if n_bits == 0 || n_bits % l_in != 0 {
+        if n_bits == 0 || !n_bits.is_multiple_of(l_in) {
             return None;
         }
         let n_sym = n_bits / l_in;
-        if n_sym < 3 || n_sym > 255 {
+        if !(3..=255).contains(&n_sym) {
             return None;
         }
         // Need t_out ≥ γ·n·L_in/(t_in+1); choose the smallest such t_out and
         // the largest k = n − 2·t_out.
         let t_in = inner.correctable();
-        let t_out_needed =
-            (gamma * (n_sym * l_in) as f64 / (t_in + 1) as f64).ceil() as usize;
+        let t_out_needed = (gamma * (n_sym * l_in) as f64 / (t_in + 1) as f64).ceil() as usize;
         if 2 * t_out_needed >= n_sym {
             return None;
         }
@@ -114,10 +113,8 @@ impl ConcatenatedCode {
         let symbols: Vec<u8> = received
             .chunks(l_in)
             .map(|block| {
-                let word = block
-                    .iter()
-                    .enumerate()
-                    .fold(0u64, |acc, (i, &b)| acc | ((b as u64) << i));
+                let word =
+                    block.iter().enumerate().fold(0u64, |acc, (i, &b)| acc | ((b as u64) << i));
                 self.inner.decode(word)
             })
             .collect();

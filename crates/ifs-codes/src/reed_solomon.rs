@@ -84,9 +84,7 @@ impl ReedSolomon {
     /// Syndromes `S_i = r(α^{i+1})`, `i = 0..n−k−1`; all zero iff `r` is a
     /// codeword.
     fn syndromes(&self, received: &[u8]) -> Vec<u8> {
-        (1..=(self.n - self.k))
-            .map(|i| poly::eval(received, gf256::alpha_pow(i as i64)))
-            .collect()
+        (1..=(self.n - self.k)).map(|i| poly::eval(received, gf256::alpha_pow(i as i64))).collect()
     }
 
     /// Berlekamp–Massey: the minimal LFSR (error locator Λ) fitting the

@@ -34,7 +34,7 @@ impl<S> MedianBoost<S> {
         assert!(delta > 0.0 && delta < 1.0);
         let log_c = combin::log2_binomial(d as u64, k as u64);
         let r = (10.0 * (log_c + (1.0 / delta).log2())).ceil().max(1.0) as usize;
-        if r % 2 == 0 {
+        if r.is_multiple_of(2) {
             r + 1
         } else {
             r

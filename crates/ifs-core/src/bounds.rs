@@ -60,9 +60,7 @@ pub fn subsample_bits(r: &Regime, guarantee: Guarantee) -> f64 {
     let s = match guarantee {
         Guarantee::ForEachIndicator => 16.0 * (2.0 / delta).ln() / eps,
         Guarantee::ForEachEstimator => (2.0 / delta).ln() / (eps * eps),
-        Guarantee::ForAllIndicator => {
-            16.0 / eps * (2.0f64.ln() + ln_queries + (1.0 / delta).ln())
-        }
+        Guarantee::ForAllIndicator => 16.0 / eps * (2.0f64.ln() + ln_queries + (1.0 / delta).ln()),
         Guarantee::ForAllEstimator => {
             ((2.0f64).ln() + ln_queries + (1.0 / delta).ln()) / (eps * eps)
         }
@@ -72,9 +70,7 @@ pub fn subsample_bits(r: &Regime, guarantee: Guarantee) -> f64 {
 
 /// Theorem 12: the naive upper bound — the minimum of the three algorithms.
 pub fn naive_upper_bound_bits(r: &Regime, guarantee: Guarantee) -> f64 {
-    release_db_bits(r)
-        .min(release_answers_bits(r, guarantee))
-        .min(subsample_bits(r, guarantee))
+    release_db_bits(r).min(release_answers_bits(r, guarantee)).min(subsample_bits(r, guarantee))
 }
 
 /// Which of the three naive algorithms achieves [`naive_upper_bound_bits`].
@@ -219,10 +215,7 @@ mod tests {
         for g in Guarantee::ALL {
             if let Some(lb) = best_lower_bound_bits(&r, g) {
                 let ub = naive_upper_bound_bits(&r, g);
-                assert!(
-                    lb <= ub * 20.0,
-                    "{g}: lower bound {lb} vastly exceeds upper bound {ub}"
-                );
+                assert!(lb <= ub * 20.0, "{g}: lower bound {lb} vastly exceeds upper bound {ub}");
             }
         }
     }

@@ -63,7 +63,12 @@ impl BitMatrix {
     /// Writes cell `(r, c)`.
     #[inline]
     pub fn set(&mut self, r: usize, c: usize, v: bool) {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of {}x{}", self.rows, self.cols);
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of {}x{}",
+            self.rows,
+            self.cols
+        );
         let start = r * self.words_per_row;
         bits::set(&mut self.data[start..start + self.words_per_row], c, v);
     }
@@ -78,7 +83,7 @@ impl BitMatrix {
     /// the final word beyond `cols` must be zero).
     pub fn set_row_words(&mut self, r: usize, words: &[u64]) {
         assert_eq!(words.len(), self.words_per_row);
-        if self.cols % 64 != 0 {
+        if !self.cols.is_multiple_of(64) {
             debug_assert_eq!(words[self.words_per_row - 1] >> (self.cols % 64), 0);
         }
         self.data[r * self.words_per_row..(r + 1) * self.words_per_row].copy_from_slice(words);

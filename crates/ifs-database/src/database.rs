@@ -150,10 +150,7 @@ mod tests {
 
     fn toy() -> Database {
         // 4 rows over 5 attributes.
-        Database::from_rows(
-            5,
-            &[vec![0, 1, 2], vec![0, 1], vec![1, 2, 3], vec![4]],
-        )
+        Database::from_rows(5, &[vec![0, 1, 2], vec![0, 1], vec![1, 2, 3], vec![4]])
     }
 
     #[test]

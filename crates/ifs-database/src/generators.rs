@@ -96,11 +96,11 @@ impl Default for MarketBasketSpec {
 pub fn market_basket(spec: &MarketBasketSpec, rng: &mut Rng64) -> Database {
     let d = spec.items;
     // Zipf weights w_i = 1 / (i+1)^s, normalized.
-    let weights: Vec<f64> = (0..d).map(|i| 1.0 / ((i + 1) as f64).powf(spec.zipf_exponent)).collect();
+    let weights: Vec<f64> =
+        (0..d).map(|i| 1.0 / ((i + 1) as f64).powf(spec.zipf_exponent)).collect();
     let total: f64 = weights.iter().sum();
     // Per-item inclusion probability scaled to the target mean basket size.
-    let probs: Vec<f64> =
-        weights.iter().map(|w| (w / total * spec.mean_basket).min(1.0)).collect();
+    let probs: Vec<f64> = weights.iter().map(|w| (w / total * spec.mean_basket).min(1.0)).collect();
     let mut db = Database::zeros(spec.transactions, d);
     for row in 0..spec.transactions {
         for (col, &p) in probs.iter().enumerate() {
@@ -194,13 +194,7 @@ mod tests {
     fn planted_itemset_reaches_target_frequency() {
         let mut rng = Rng64::seeded(2);
         let t = Itemset::new(vec![3, 7, 11]);
-        let db = planted(
-            2000,
-            32,
-            0.05,
-            &[Plant { itemset: t.clone(), frequency: 0.4 }],
-            &mut rng,
-        );
+        let db = planted(2000, 32, 0.05, &[Plant { itemset: t.clone(), frequency: 0.4 }], &mut rng);
         let f = db.frequency(&t);
         // One-sided: background can only add support.
         assert!(f >= 0.35, "freq {f}");
@@ -256,8 +250,7 @@ mod tests {
         let p = categorical_predicate(&cards, 1, 1);
         assert_eq!(db.support(&p), 3);
         // Conjunction (a0==2 AND a1==1): only row 0.
-        let conj =
-            categorical_predicate(&cards, 0, 2).union(&categorical_predicate(&cards, 1, 1));
+        let conj = categorical_predicate(&cards, 0, 2).union(&categorical_predicate(&cards, 1, 1));
         assert_eq!(db.support(&conj), 1);
     }
 

@@ -87,17 +87,14 @@ impl Matrix {
     /// Matrix–vector product `A·x`.
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
-        (0..self.rows)
-            .map(|r| self.row(r).iter().zip(x).map(|(a, b)| a * b).sum())
-            .collect()
+        (0..self.rows).map(|r| self.row(r).iter().zip(x).map(|(a, b)| a * b).sum()).collect()
     }
 
     /// Transposed product `Aᵀ·x`.
     pub fn t_matvec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.rows, "t_matvec dimension mismatch");
         let mut out = vec![0.0; self.cols];
-        for r in 0..self.rows {
-            let xr = x[r];
+        for (r, &xr) in x.iter().enumerate() {
             for (o, a) in out.iter_mut().zip(self.row(r)) {
                 *o += a * xr;
             }

@@ -72,13 +72,13 @@ impl Qr {
                 continue;
             }
             let mut s = b[k];
-            for i in (k + 1)..m {
-                s += self.qr[(i, k)] * b[i];
+            for (i, bv) in b.iter().enumerate().take(m).skip(k + 1) {
+                s += self.qr[(i, k)] * bv;
             }
             s *= self.betas[k];
             b[k] -= s;
-            for i in (k + 1)..m {
-                b[i] -= s * self.qr[(i, k)];
+            for (i, bv) in b.iter_mut().enumerate().take(m).skip(k + 1) {
+                *bv -= s * self.qr[(i, k)];
             }
         }
     }
@@ -98,8 +98,8 @@ impl Qr {
         let mut x = vec![0.0; n];
         for j in (0..n).rev() {
             let mut s = rhs[j];
-            for l in (j + 1)..n {
-                s -= self.qr[(j, l)] * x[l];
+            for (l, xl) in x.iter().enumerate().take(n).skip(j + 1) {
+                s -= self.qr[(j, l)] * xl;
             }
             let diag = self.qr[(j, j)];
             if diag.abs() < tol {
@@ -130,11 +130,7 @@ mod tests {
 
     #[test]
     fn solves_square_system_exactly() {
-        let a = Matrix::from_rows(&[
-            vec![2.0, 1.0, 0.0],
-            vec![1.0, 3.0, 1.0],
-            vec![0.0, 1.0, 4.0],
-        ]);
+        let a = Matrix::from_rows(&[vec![2.0, 1.0, 0.0], vec![1.0, 3.0, 1.0], vec![0.0, 1.0, 4.0]]);
         let x_true = vec![1.0, -2.0, 0.5];
         let b = a.matvec(&x_true);
         let x = least_squares(&a, &b).expect("nonsingular");

@@ -72,9 +72,7 @@ impl Aggregate {
 
     /// Mean recovered fraction.
     pub fn mean_recovered(&self) -> f64 {
-        ifs_util::stats::mean(
-            &self.trips.iter().map(|t| t.recovered_fraction).collect::<Vec<_>>(),
-        )
+        ifs_util::stats::mean(&self.trips.iter().map(|t| t.recovered_fraction).collect::<Vec<_>>())
     }
 
     /// Mean sketch size.
@@ -94,21 +92,13 @@ mod tests {
 
     #[test]
     fn ratio_and_violation() {
-        let ok = RoundTrip {
-            payload_bits: 100,
-            sketch_bits: 300,
-            recovered_fraction: 1.0,
-            exact: true,
-        };
+        let ok =
+            RoundTrip { payload_bits: 100, sketch_bits: 300, recovered_fraction: 1.0, exact: true };
         assert_eq!(ok.compression_ratio(), 3.0);
         assert!(!ok.violates_information_bound(0.5));
 
-        let impossible = RoundTrip {
-            payload_bits: 1000,
-            sketch_bits: 10,
-            recovered_fraction: 1.0,
-            exact: true,
-        };
+        let impossible =
+            RoundTrip { payload_bits: 1000, sketch_bits: 10, recovered_fraction: 1.0, exact: true };
         assert!(impossible.violates_information_bound(0.5));
 
         let lossy = RoundTrip {

@@ -28,25 +28,25 @@ impl AmplifiedInstance {
     /// Feasibility: `k` odd ≥ 3, the inner instance (with `k_inner =
     /// (k+1)/2`) feasible, and `m` distinct tags available.
     pub fn feasible(d: usize, k: usize, m: usize) -> bool {
-        if k < 3 || k % 2 == 0 || m < 1 {
+        if k < 3 || k.is_multiple_of(2) || m < 1 {
             return false;
         }
         let tag_size = (k - 1) / 2;
-        Thm15Instance::feasible(d, (k + 1) / 2)
+        Thm15Instance::feasible(d, k.div_ceil(2))
             && combin::binomial(d as u64, tag_size as u64) >= m as u128
     }
 
     /// Message capacity **per sub-instance**; total hidden bits are
     /// `m × this`.
     pub fn capacity_per_instance(d: usize, k: usize) -> Option<usize> {
-        Thm15Instance::message_capacity(d, (k + 1) / 2)
+        Thm15Instance::message_capacity(d, k.div_ceil(2))
     }
 
     /// Encodes `m` messages (each of [`Self::capacity_per_instance`] bits).
     pub fn encode(d: usize, k: usize, messages: &[Vec<bool>]) -> Self {
         let m = messages.len();
         assert!(Self::feasible(d, k, m), "infeasible (d={d}, k={k}, m={m})");
-        let k_inner = (k + 1) / 2;
+        let k_inner = k.div_ceil(2);
         let tag_size = ((k - 1) / 2) as u32;
         let inner: Vec<Thm15Instance> =
             messages.iter().map(|msg| Thm15Instance::encode(d, k_inner, msg)).collect();
@@ -117,8 +117,7 @@ impl AmplifiedInstance {
                         let s: Vec<bool> = (0..v).map(|i| (mask >> i) & 1 == 1).collect();
                         answers.push(sketch.is_frequent(&self.query(idx, &s, j)));
                     }
-                    if let Some(t) = ifs_solver::repair::reconstruct(v, inner_eps, &answers, rng)
-                    {
+                    if let Some(t) = ifs_solver::repair::reconstruct(v, inner_eps, &answers, rng) {
                         for i in 0..v {
                             recovered[j * v + i] = (t >> i) & 1 == 1;
                         }

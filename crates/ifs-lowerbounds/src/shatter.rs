@@ -31,7 +31,7 @@ impl ShatteredSet {
     /// and `d/k′` a power of two ≥ 2.
     pub fn new(d: usize, k_prime: usize) -> Self {
         assert!(k_prime >= 1, "k' must be positive");
-        assert!(d % k_prime == 0, "d={d} must be divisible by k'={k_prime}");
+        assert!(d.is_multiple_of(k_prime), "d={d} must be divisible by k'={k_prime}");
         let block_width = d / k_prime;
         assert!(
             block_width >= 2 && block_width.is_power_of_two(),

@@ -30,9 +30,7 @@ impl HardInstance {
     /// Checks the theorem's applicability: `1/ε ≤ C(d/2, k−1)` so that every
     /// row can get a distinct fingerprint.
     pub fn applicable(d: usize, k: usize, inv_eps: usize) -> bool {
-        k >= 2
-            && d >= 4
-            && combin::binomial((d / 2) as u64, (k - 1) as u64) >= inv_eps as u128
+        k >= 2 && d >= 4 && combin::binomial((d / 2) as u64, (k - 1) as u64) >= inv_eps as u128
     }
 
     /// Encodes `payload` (exactly [`Self::capacity`] bits) into a database
@@ -160,9 +158,8 @@ mod tests {
         let inst = HardInstance::encode(d, k, inv_eps, &payload, 1);
         let mut prints = std::collections::HashSet::new();
         for i in 0..inv_eps {
-            let fp: Vec<u32> = (0..d as u32 / 2)
-                .filter(|&c| inst.database().get(i, c as usize))
-                .collect();
+            let fp: Vec<u32> =
+                (0..d as u32 / 2).filter(|&c| inst.database().get(i, c as usize)).collect();
             assert_eq!(fp.len(), k - 1);
             assert!(prints.insert(fp), "duplicate fingerprint at row {i}");
         }

@@ -34,7 +34,7 @@ impl Thm15Instance {
     /// (`d/(k−1)` a power of two), and `d·v` fits one concatenated-code
     /// block (multiple of 32, ≤ 8160).
     pub fn feasible(d: usize, k: usize) -> bool {
-        if k < 2 || d % (k - 1) != 0 {
+        if k < 2 || !d.is_multiple_of(k - 1) {
             return false;
         }
         let block = d / (k - 1);
@@ -43,7 +43,7 @@ impl Thm15Instance {
         }
         let v = (k - 1) * block.trailing_zeros() as usize;
         let bits = d * v;
-        v <= 24 && bits % 32 == 0 && (96..=8160).contains(&bits)
+        v <= 24 && bits.is_multiple_of(32) && (96..=8160).contains(&bits)
     }
 
     /// Message capacity (bits) for given `(d, k)`; `None` when infeasible.
@@ -204,10 +204,8 @@ mod tests {
             let s: Vec<bool> = (0..v).map(|_| rng.bernoulli(0.5)).collect();
             let j = rng.below(d);
             let f = inst.database().frequency(&inst.query(&s, j));
-            let expect = (0..v)
-                .filter(|&i| s[i] && inst.codeword[j * v + i])
-                .count() as f64
-                / v as f64;
+            let expect =
+                (0..v).filter(|&i| s[i] && inst.codeword[j * v + i]).count() as f64 / v as f64;
             assert!((f - expect).abs() < 1e-12, "f={f} expect={expect}");
         }
     }

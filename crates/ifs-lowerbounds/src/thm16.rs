@@ -163,8 +163,7 @@ pub fn perturb_answers(
     gross_fraction: f64,
     rng: &mut Rng64,
 ) -> Vec<f64> {
-    let mut out: Vec<f64> =
-        answers.iter().map(|v| v + eps * 2.0 * (rng.unit() - 0.5)).collect();
+    let mut out: Vec<f64> = answers.iter().map(|v| v + eps * 2.0 * (rng.unit() - 0.5)).collect();
     let gross = ((answers.len() as f64) * gross_fraction) as usize;
     if gross > 0 {
         for &p in &rng.distinct_sorted(answers.len(), gross) {
@@ -198,7 +197,11 @@ mod tests {
     fn exact_sketch_l1_recovers_secret() {
         let mut rng = Rng64::seeded(192);
         let secret = random_secret(16, &mut rng);
-        let inst = RowProductInstance::new(4, 2, &secret, &mut rng);
+        // Over-determined regime (L = 36 > n = 16): Lemma 26 gives A full
+        // column rank whp, so exact answers pin down the secret uniquely.
+        // A square L = n instance can be singular, in which case the LP may
+        // legitimately return a different exact solution.
+        let inst = RowProductInstance::new(6, 2, &secret, &mut rng);
         let sketch = ReleaseDb::build(inst.database(), 0.01);
         let answers = inst.answers_from_sketch(&sketch);
         let decoded = inst.recover_l1(&answers).expect("LP solvable");

@@ -89,8 +89,7 @@ pub fn max_balanced_greedy(db: &Database) -> Biclique {
     let d = db.dims();
     let n = db.rows();
     let mut order: Vec<u32> = (0..d as u32).collect();
-    let supports: Vec<usize> =
-        (0..d).map(|c| bits::count_ones(&db.matrix().column(c))).collect();
+    let supports: Vec<usize> = (0..d).map(|c| bits::count_ones(&db.matrix().column(c))).collect();
     order.sort_by(|&a, &b| supports[b as usize].cmp(&supports[a as usize]).then(a.cmp(&b)));
     let mut rows_mask = vec![u64::MAX; ifs_util::bits::words_for(n).max(1)];
     bits::mask_tail(&mut rows_mask, n);

@@ -34,16 +34,7 @@ pub fn mine(db: &Database, min_frequency: f64, max_len: usize) -> Vec<MinedItems
             itemset: prefix.clone(),
             frequency: bits::count_ones(tids) as f64 / n as f64,
         });
-        extend(
-            &prefix,
-            tids,
-            &frequent_items,
-            idx + 1,
-            min_support,
-            n,
-            max_len,
-            &mut results,
-        );
+        extend(&prefix, tids, &frequent_items, idx + 1, min_support, n, max_len, &mut results);
     }
     results
 }

@@ -45,12 +45,7 @@ impl FpTree {
                 }
                 None => {
                     let idx = self.nodes.len();
-                    self.nodes.push(Node {
-                        item,
-                        count,
-                        parent: cur,
-                        children: HashMap::new(),
-                    });
+                    self.nodes.push(Node { item, count, parent: cur, children: HashMap::new() });
                     self.nodes[cur].children.insert(item, idx);
                     self.header.entry(item).or_default().push(idx);
                     idx
@@ -87,23 +82,15 @@ pub fn mine(db: &Database, min_frequency: f64, max_len: usize) -> Vec<MinedItems
     let supports: Vec<usize> =
         (0..db.dims()).map(|c| db.support(&Itemset::singleton(c as u32))).collect();
     // Order: descending support, ties by item id (must be consistent!).
-    let mut order: Vec<u32> = (0..db.dims() as u32)
-        .filter(|&i| supports[i as usize] >= min_support)
-        .collect();
-    order.sort_by(|&a, &b| {
-        supports[b as usize].cmp(&supports[a as usize]).then(a.cmp(&b))
-    });
+    let mut order: Vec<u32> =
+        (0..db.dims() as u32).filter(|&i| supports[i as usize] >= min_support).collect();
+    order.sort_by(|&a, &b| supports[b as usize].cmp(&supports[a as usize]).then(a.cmp(&b)));
     let rank: HashMap<u32, usize> = order.iter().enumerate().map(|(r, &i)| (i, r)).collect();
     // Build the tree.
     let mut tree = FpTree::new();
     for r in 0..n {
-        let mut items: Vec<u32> = db
-            .row_itemset(r)
-            .items()
-            .iter()
-            .copied()
-            .filter(|i| rank.contains_key(i))
-            .collect();
+        let mut items: Vec<u32> =
+            db.row_itemset(r).items().iter().copied().filter(|i| rank.contains_key(i)).collect();
         items.sort_by_key(|i| rank[i]);
         tree.insert(&items, 1);
     }

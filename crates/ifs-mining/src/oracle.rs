@@ -59,10 +59,7 @@ pub fn mine_with_estimator<E: FrequencyEstimator>(
 
 /// Recall/precision of sketch-mined itemsets against exact mining at a
 /// reference threshold, ignoring frequency values (set comparison).
-pub fn recall_precision(
-    sketched: &[MinedItemset],
-    exact: &[MinedItemset],
-) -> (f64, f64) {
+pub fn recall_precision(sketched: &[MinedItemset], exact: &[MinedItemset]) -> (f64, f64) {
     use std::collections::HashSet;
     let s: HashSet<_> = sketched.iter().map(|m| m.itemset.clone()).collect();
     let e: HashSet<_> = exact.iter().map(|m| m.itemset.clone()).collect();
@@ -117,7 +114,7 @@ mod tests {
     fn recall_precision_edge_cases() {
         assert_eq!(recall_precision(&[], &[]), (1.0, 1.0));
         let m = MinedItemset { itemset: ifs_database::Itemset::singleton(0), frequency: 0.5 };
-        assert_eq!(recall_precision(&[m.clone()], &[]), (1.0, 0.0));
+        assert_eq!(recall_precision(std::slice::from_ref(&m), &[]), (1.0, 0.0));
         assert_eq!(recall_precision(&[], &[m]), (0.0, 1.0));
     }
 

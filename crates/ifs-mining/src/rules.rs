@@ -29,8 +29,7 @@ pub struct Rule {
 /// frequent itemsets (which must be downward-closed, as produced by the
 /// miners: every subset of a listed itemset with |itemset| ≥ 2 is listed).
 pub fn derive(frequent: &[MinedItemset], min_confidence: f64) -> Vec<Rule> {
-    let freq: HashMap<&Itemset, f64> =
-        frequent.iter().map(|m| (&m.itemset, m.frequency)).collect();
+    let freq: HashMap<&Itemset, f64> = frequent.iter().map(|m| (&m.itemset, m.frequency)).collect();
     let mut rules = Vec::new();
     for m in frequent {
         let items = m.itemset.items();

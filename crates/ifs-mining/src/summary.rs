@@ -33,9 +33,7 @@ pub fn maximal(results: &[MinedItemset]) -> Vec<MinedItemset> {
     results
         .iter()
         .filter(|m| {
-            !results
-                .iter()
-                .any(|other| is_strict_subset(m.itemset.items(), other.itemset.items()))
+            !results.iter().any(|other| is_strict_subset(m.itemset.items(), other.itemset.items()))
         })
         .cloned()
         .collect()
@@ -80,10 +78,7 @@ mod tests {
     use ifs_database::{Database, Itemset};
 
     fn mined() -> Vec<MinedItemset> {
-        let db = Database::from_rows(
-            4,
-            &[vec![0, 1, 2], vec![0, 1, 2], vec![0, 1], vec![3]],
-        );
+        let db = Database::from_rows(4, &[vec![0, 1, 2], vec![0, 1, 2], vec![0, 1], vec![3]]);
         apriori::mine(&db, 0.5, usize::MAX)
     }
 

@@ -83,11 +83,7 @@ mod tests {
     use super::*;
     use ifs_util::Rng64;
 
-    fn random_instance(
-        m: usize,
-        n: usize,
-        rng: &mut Rng64,
-    ) -> (Matrix, Vec<bool>, Vec<f64>) {
+    fn random_instance(m: usize, n: usize, rng: &mut Rng64) -> (Matrix, Vec<bool>, Vec<f64>) {
         let a = Matrix::random_binary(m, n, rng);
         let x: Vec<bool> = (0..n).map(|_| rng.bernoulli(0.5)).collect();
         let xf: Vec<f64> = x.iter().map(|&b| b as u8 as f64).collect();

@@ -101,14 +101,10 @@ impl LinearProgram {
                 rows.push((c.coeffs.clone(), c.relation, c.rhs));
             }
         }
-        let num_slack = rows
-            .iter()
-            .filter(|(_, r, _)| matches!(r, Relation::Le | Relation::Ge))
-            .count();
-        let num_artificial = rows
-            .iter()
-            .filter(|(_, r, _)| matches!(r, Relation::Eq | Relation::Ge))
-            .count();
+        let num_slack =
+            rows.iter().filter(|(_, r, _)| matches!(r, Relation::Le | Relation::Ge)).count();
+        let num_artificial =
+            rows.iter().filter(|(_, r, _)| matches!(r, Relation::Eq | Relation::Ge)).count();
         let total = n + num_slack + num_artificial;
         // Tableau: m rows of [coeffs | slack | artificial | rhs].
         let width = total + 1;
@@ -160,14 +156,12 @@ impl LinearProgram {
             }
             // Drive any artificial variables still in the basis out (they sit
             // at value 0; pivot on any nonzero non-artificial column).
-            for i in 0..m {
-                if artificials.contains(&basis[i]) {
+            for (i, basis_i) in basis.iter_mut().enumerate().take(m) {
+                if artificials.contains(basis_i) {
                     let row_start = i * width;
-                    if let Some(j) = (0..n + num_slack)
-                        .find(|&j| tab[row_start + j].abs() > EPS)
-                    {
+                    if let Some(j) = (0..n + num_slack).find(|&j| tab[row_start + j].abs() > EPS) {
                         Self::pivot(&mut tab, m, total, i, j);
-                        basis[i] = j;
+                        *basis_i = j;
                     }
                     // If no pivot exists the row is all-zero: redundant, keep.
                 }
@@ -248,8 +242,7 @@ impl LinearProgram {
                 if a > EPS {
                     let ratio = tab[i * width + total] / a;
                     if ratio < best_ratio - EPS
-                        || (ratio < best_ratio + EPS
-                            && leave.is_some_and(|l| basis[i] < basis[l]))
+                        || (ratio < best_ratio + EPS && leave.is_some_and(|l| basis[i] < basis[l]))
                     {
                         best_ratio = ratio;
                         leave = Some(i);
@@ -311,10 +304,7 @@ mod tests {
     #[test]
     fn textbook_maximization() {
         // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18  (min of negative)
-        let mut lp = LinearProgram {
-            objective: vec![-3.0, -5.0],
-            constraints: vec![],
-        };
+        let mut lp = LinearProgram { objective: vec![-3.0, -5.0], constraints: vec![] };
         lp.push(Constraint::new(vec![1.0, 0.0], Relation::Le, 4.0));
         lp.push(Constraint::new(vec![0.0, 2.0], Relation::Le, 12.0));
         lp.push(Constraint::new(vec![3.0, 2.0], Relation::Le, 18.0));

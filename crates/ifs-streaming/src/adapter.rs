@@ -30,15 +30,14 @@ pub fn feed_rows<C: StreamCounter<u64>>(
         if items.len() < k {
             continue;
         }
-        let mut emitted = 0usize;
-        for combo in combin::Combinations::new(items.len() as u32, k as u32) {
+        for (emitted, combo) in combin::Combinations::new(items.len() as u32, k as u32).enumerate()
+        {
             if emitted >= per_row_budget {
                 truncated += 1;
                 break;
             }
             let itemset: Itemset = combo.iter().map(|&i| items[i as usize]).collect();
             counter.update(itemset.colex_rank());
-            emitted += 1;
         }
     }
     truncated

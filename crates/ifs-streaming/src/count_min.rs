@@ -27,7 +27,8 @@ impl<T: Hash> CountMinSketch<T> {
     /// Creates a sketch with explicit dimensions.
     pub fn new(width: usize, depth: usize, conservative: bool, seed: u64) -> Self {
         assert!(width >= 1 && depth >= 1);
-        let seeds = (0..depth as u64).map(|i| seed ^ (i.wrapping_mul(0x9E37_79B9_7F4A_7C15))).collect();
+        let seeds =
+            (0..depth as u64).map(|i| seed ^ (i.wrapping_mul(0x9E37_79B9_7F4A_7C15))).collect();
         Self {
             width,
             depth,

@@ -126,7 +126,10 @@ mod tests {
         }
         let mean = ifs_util::stats::mean(&errors);
         let sd = ifs_util::stats::stddev(&errors).max(1.0);
-        assert!(mean.abs() < 2.5 * sd / (errors.len() as f64).sqrt() + 5.0, "bias {mean} (sd {sd})");
+        assert!(
+            mean.abs() < 2.5 * sd / (errors.len() as f64).sqrt() + 5.0,
+            "bias {mean} (sd {sd})"
+        );
     }
 
     #[test]

@@ -66,12 +66,9 @@ impl<T: Hash + Eq + Clone> StreamCounter<T> for LossyCounting<T> {
     fn update(&mut self, item: T) {
         self.len += 1;
         let delta = self.current_bucket - 1;
-        self.entries
-            .entry(item)
-            .and_modify(|e| e.0 += 1)
-            .or_insert((1, delta));
+        self.entries.entry(item).and_modify(|e| e.0 += 1).or_insert((1, delta));
         self.max_entries_seen = self.max_entries_seen.max(self.entries.len());
-        if self.len % self.bucket_width == 0 {
+        if self.len.is_multiple_of(self.bucket_width) {
             let b = self.current_bucket;
             self.entries.retain(|_, &mut (c, d)| c + d > b);
             self.current_bucket += 1;
@@ -137,7 +134,8 @@ mod tests {
         let mut counts = std::collections::HashMap::new();
         let mut rng = Rng64::seeded(112);
         for _ in 0..4000 {
-            let x = if rng.bernoulli(0.5) { rng.below(4) as u32 } else { 100 + rng.below(5000) as u32 };
+            let x =
+                if rng.bernoulli(0.5) { rng.below(4) as u32 } else { 100 + rng.below(5000) as u32 };
             *counts.entry(x).or_insert(0u64) += 1;
             lc.update(x);
         }

@@ -100,7 +100,12 @@ mod tests {
         let truth = stream.iter().filter(|&&x| x == 0).count() as u64;
         let est = mg.estimate(&0);
         assert!(est <= truth, "MG never overestimates");
-        assert!(truth - est <= mg.error_bound(), "gap {} > bound {}", truth - est, mg.error_bound());
+        assert!(
+            truth - est <= mg.error_bound(),
+            "gap {} > bound {}",
+            truth - est,
+            mg.error_bound()
+        );
     }
 
     #[test]

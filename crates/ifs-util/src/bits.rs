@@ -31,7 +31,7 @@ pub fn set(words: &mut [u64], i: usize, value: bool) {
 /// Clears any bits at positions `>= len` in the final word.
 #[inline]
 pub fn mask_tail(words: &mut [u64], len: usize) {
-    if len % 64 != 0 {
+    if !len.is_multiple_of(64) {
         if let Some(last) = words.last_mut() {
             *last &= (1u64 << (len % 64)) - 1;
         }
@@ -139,6 +139,23 @@ mod tests {
         let bits: Vec<bool> = (0..130).map(|i| i % 3 == 0).collect();
         let words = pack(&bits);
         assert_eq!(unpack(&words, bits.len()), bits);
+    }
+
+    /// Seeded round-trips at word-boundary lengths, so a packing regression
+    /// is reproducible from the printed seed alone.
+    #[test]
+    fn pack_unpack_roundtrip_seeded_boundaries() {
+        let mut rng = crate::Rng64::seeded(0xB175);
+        for len in [0usize, 1, 63, 64, 65, 127, 128, 129, 300] {
+            let bits: Vec<bool> = (0..len).map(|_| rng.bernoulli(0.5)).collect();
+            let words = pack(&bits);
+            assert_eq!(words.len(), words_for(len), "len {len}");
+            assert_eq!(unpack(&words, len), bits, "len {len}");
+            // Tail bits beyond `len` must be zero so word-wise ops agree.
+            let mut masked = words.clone();
+            mask_tail(&mut masked, len);
+            assert_eq!(masked, words, "len {len} tail must already be clear");
+        }
     }
 
     #[test]

@@ -67,14 +67,14 @@ pub fn ln_gamma(x: f64) -> f64 {
     // g = 7, n = 9 Lanczos coefficients (standard choice).
     const G: f64 = 7.0;
     const COEF: [f64; 9] = [
-        0.999_999_999_999_809_93,
+        0.999_999_999_999_809_9,
         676.520_368_121_885_1,
-        -1259.139_216_722_402_8,
-        771.323_428_777_653_13,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
         -176.615_029_162_140_6,
         12.507_343_278_686_905,
         -0.138_571_095_265_720_12,
-        9.984_369_578_019_571_6e-6,
+        9.984_369_578_019_572e-6,
         1.505_632_735_149_311_6e-7,
     ];
     if x < 0.5 {
@@ -98,10 +98,7 @@ pub fn ln_gamma(x: f64) -> f64 {
 /// without re-ranking.
 pub fn rank_colex(comb: &[u32]) -> u64 {
     debug_assert!(comb.windows(2).all(|w| w[0] < w[1]), "combination must be strictly increasing");
-    comb.iter()
-        .enumerate()
-        .map(|(j, &c)| binomial_u64(c as u64, (j + 1) as u64))
-        .sum()
+    comb.iter().enumerate().map(|(j, &c)| binomial_u64(c as u64, (j + 1) as u64)).sum()
 }
 
 /// Inverse of [`rank_colex`]: returns the `k` elements of the combination
@@ -111,7 +108,7 @@ pub fn unrank_colex(mut rank: u64, k: u32) -> Vec<u32> {
     for j in (1..=k).rev() {
         // Largest c with C(c, j) <= rank.
         let mut c = j - 1; // C(j-1, j) = 0 <= rank always
-        // Exponential search then linear refine; combinations here are small.
+                           // Exponential search then linear refine; combinations here are small.
         let mut step = 1u32;
         while binomial((c + step) as u64, j as u64) <= rank as u128 {
             c += step;
@@ -262,6 +259,16 @@ mod tests {
             sorted.sort();
             sorted.dedup();
             assert_eq!(sorted.len(), all.len());
+        }
+    }
+
+    #[test]
+    fn combinations_count_matches_binomial() {
+        for n in 0..=10u32 {
+            for k in 0..=10u32 {
+                let count = Combinations::new(n, k).count() as u128;
+                assert_eq!(count, binomial(n as u64, k as u64), "C({n},{k})");
+            }
         }
     }
 

@@ -22,12 +22,7 @@ fn main() {
         ],
     };
     let db = generators::market_basket(&spec, &mut rng);
-    println!(
-        "transactions: {} over {} items, density {:.3}",
-        db.rows(),
-        db.dims(),
-        db.density()
-    );
+    println!("transactions: {} over {} items, density {:.3}", db.rows(), db.dims(), db.density());
 
     // Keep only a For-All-Estimator sample; pretend the raw data is gone.
     let params = SketchParams::new(3, 0.02, 0.05);

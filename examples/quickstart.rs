@@ -41,7 +41,10 @@ fn main() {
 
     // Query both planted itemsets and a cold one through every sketch.
     let cold = Itemset::new(vec![20, 21, 22]);
-    println!("\n{:<12} {:>9} {:>12} {:>12} {:>12}", "itemset", "truth", "release-db", "answers", "subsample");
+    println!(
+        "\n{:<12} {:>9} {:>12} {:>12} {:>12}",
+        "itemset", "truth", "release-db", "answers", "subsample"
+    );
     for t in [&hot, &warm, &cold] {
         println!(
             "{:<12} {:>9.4} {:>12.4} {:>12.4} {:>12.4}",

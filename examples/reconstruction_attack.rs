@@ -41,8 +41,7 @@ fn main() {
     //    information bound the message must die.
     println!("\n{:>12} {:>12} {:>10} {:>10}", "sample rows", "sketch bits", "cw acc", "message?");
     for rows in [64usize, 32, 16, 8, 4, 2, 1] {
-        let sketch =
-            Subsample::with_sample_count(inst.database(), rows, eps, &mut rng);
+        let sketch = Subsample::with_sample_count(inst.database(), rows, eps, &mut rng);
         let (acc, decoded) = inst.attack(&sketch, eps, &mut rng);
         println!(
             "{:>12} {:>12} {:>10.3} {:>10}",

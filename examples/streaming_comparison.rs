@@ -33,8 +33,11 @@ fn main() {
         .map(Itemset::new)
         .filter(|t| db.frequency(t) >= theta)
         .collect();
-    println!("{} pairs are {theta}-frequent (of C({d},{k}) = {})", truth.len(),
-        combin::binomial_u64(d as u64, k as u64));
+    println!(
+        "{} pairs are {theta}-frequent (of C({d},{k}) = {})",
+        truth.len(),
+        combin::binomial_u64(d as u64, k as u64)
+    );
 
     // Space budget: a For-Each-Indicator subsample.
     let params = SketchParams::new(k, theta, 0.05);

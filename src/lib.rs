@@ -48,8 +48,8 @@ pub use ifs_database as database;
 pub use ifs_linalg as linalg;
 pub use ifs_lowerbounds as lowerbounds;
 pub use ifs_mining as mining;
-pub use ifs_streaming as streaming;
 pub use ifs_solver as solver;
+pub use ifs_streaming as streaming;
 pub use ifs_util as util;
 
 /// The items most programs need, importable with one `use`.

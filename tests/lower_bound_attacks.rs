@@ -102,10 +102,7 @@ fn thm16_starved_estimator_fails() {
     for _ in 0..5 {
         let sketch = Subsample::with_sample_count(inst.database(), 2, 0.01, &mut rng);
         let answers = inst.answers_from_sketch(&sketch);
-        let acc = inst
-            .recover_l1(&answers)
-            .map(|d| inst.accuracy(&d))
-            .unwrap_or(0.5);
+        let acc = inst.recover_l1(&answers).map(|d| inst.accuracy(&d)).unwrap_or(0.5);
         accs.push(acc);
     }
     let mean = itemset_sketches::util::stats::mean(&accs);

@@ -154,8 +154,7 @@ fn sketch_sizes_are_consistent_with_bounds_module() {
     let (n, d, k, eps) = (5_000usize, 16usize, 2usize, 0.05f64);
     let db = generators::uniform(n, d, 0.3, &mut rng);
     let params = SketchParams::new(k, eps, 0.1);
-    let regime =
-        bounds::Regime { n: n as u64, d: d as u64, k: k as u64, epsilon: eps, delta: 0.1 };
+    let regime = bounds::Regime { n: n as u64, d: d as u64, k: k as u64, epsilon: eps, delta: 0.1 };
     // Measured sizes within a small constant of the formulas.
     let sub = Subsample::build(&db, &params, Guarantee::ForAllEstimator, &mut rng);
     let predicted = bounds::subsample_bits(&regime, Guarantee::ForAllEstimator);

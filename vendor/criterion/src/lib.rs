@@ -1,0 +1,258 @@
+//! Minimal in-tree shim for the [`criterion`](https://docs.rs/criterion)
+//! benchmarking crate.
+//!
+//! The build environment has no cargo-registry access, so this crate
+//! provides the subset of criterion's API that the `ifs-bench` benches use:
+//! [`Criterion`], [`criterion_group!`] / [`criterion_main!`],
+//! [`BenchmarkId`], [`Throughput`], and benchmark groups.
+//!
+//! Measurement model: under `--bench` (what `cargo bench` passes) each
+//! `Bencher::iter` call warms the closure up, then times geometrically
+//! growing batches until a ~25 ms window is filled, and reports nanoseconds
+//! per iteration. Without `--bench` (e.g. `cargo test --benches`, which
+//! passes no mode flag to `harness = false` targets) every benchmark body
+//! runs exactly once as a smoke test and nothing is timed — the same
+//! default the real crate uses.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark group (printed, not analyzed).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier for a parameterized benchmark.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter, rendered `name/param`.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", name.into(), parameter) }
+    }
+
+    /// An id carrying only a parameter.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Times one benchmark body.
+pub struct Bencher {
+    test_mode: bool,
+    ns_per_iter: Option<f64>,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly and records the per-iteration wall-clock time.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        if self.test_mode {
+            black_box(f());
+            self.ns_per_iter = None;
+            return;
+        }
+        for _ in 0..2 {
+            black_box(f());
+        }
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let dt = start.elapsed();
+            if dt >= Duration::from_millis(25) || iters >= 1 << 22 {
+                self.ns_per_iter = Some(dt.as_nanos() as f64 / iters as f64);
+                return;
+            }
+            iters = iters.saturating_mul(4);
+        }
+    }
+}
+
+/// The benchmark driver, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    filter: Option<String>,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut filter = None;
+        // `cargo bench` passes `--bench`; `cargo test --benches` passes no
+        // mode flag at all. Like the real crate, only time when cargo asked
+        // for a benchmark run — everything else is a one-pass smoke test.
+        let mut test_mode = true;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--bench" => test_mode = false,
+                "--test" => test_mode = true,
+                s if s.starts_with("--") => {}
+                s => filter = Some(s.to_owned()),
+            }
+        }
+        Criterion { filter, test_mode }
+    }
+}
+
+impl Criterion {
+    fn should_run(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+
+    fn run_one(
+        &mut self,
+        group: Option<&str>,
+        id: &str,
+        throughput: Option<Throughput>,
+        f: &mut dyn FnMut(&mut Bencher),
+    ) {
+        let full = match group {
+            Some(g) => format!("{g}/{id}"),
+            None => id.to_owned(),
+        };
+        if !self.should_run(&full) {
+            return;
+        }
+        let mut b = Bencher { test_mode: self.test_mode, ns_per_iter: None };
+        f(&mut b);
+        match b.ns_per_iter {
+            None => println!("bench {full:<50} ok (smoke)"),
+            Some(ns) => {
+                let rate = match throughput {
+                    Some(Throughput::Elements(n)) => {
+                        format!("  ({:.1} Melem/s)", n as f64 / ns * 1e3)
+                    }
+                    Some(Throughput::Bytes(n)) => {
+                        format!("  ({:.1} MiB/s)", n as f64 / ns * 1e9 / (1 << 20) as f64)
+                    }
+                    None => String::new(),
+                };
+                println!("bench {full:<50} {ns:>14.1} ns/iter{rate}");
+            }
+        }
+    }
+
+    /// Benchmarks a standalone function.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        self.run_one(None, &id.id, None, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), throughput: None }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim sizes samples adaptively.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks a function within the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let throughput = self.throughput;
+        self.criterion.run_one(Some(&self.name), &id.id, throughput, &mut f);
+        self
+    }
+
+    /// Benchmarks a function parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let throughput = self.throughput;
+        self.criterion.run_one(Some(&self.name), &id.id, throughput, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (no-op in the shim; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke() {
+        let mut c = Criterion { filter: None, test_mode: true };
+        c.bench_function("id", |b| b.iter(|| 1 + 1));
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10);
+        g.throughput(Throughput::Elements(4));
+        g.bench_with_input(BenchmarkId::new("x", 3), &3u32, |b, &v| b.iter(|| v * 2));
+        g.finish();
+    }
+}
