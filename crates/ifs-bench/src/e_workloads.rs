@@ -96,7 +96,7 @@ pub fn e11_streaming_vs_sampling() -> Vec<Table> {
     vec![t]
 }
 
-/// E12 — ε-adequate representations [MT96]: mining and rule quality on a
+/// E12 — ε-adequate representations \[MT96\]: mining and rule quality on a
 /// sketch vs the full database, as ε varies.
 pub fn e12_mining_on_sketch() -> Vec<Table> {
     let mut rng = Rng64::seeded(0xE12);

@@ -1,4 +1,4 @@
-//! Arithmetic in GF(2⁸) = GF(2)[x]/(x⁸+x⁴+x³+x²+1).
+//! Arithmetic in GF(2⁸) = GF(2)\[x\]/(x⁸+x⁴+x³+x²+1).
 //!
 //! The reduction polynomial `0x11D` is primitive with α = 2 as a generator,
 //! the standard choice for Reed–Solomon over bytes. Multiplication and

@@ -34,8 +34,15 @@ impl Sketch for ReleaseDb {
 }
 
 impl FrequencyEstimator for ReleaseDb {
+    /// Queries run on the stored database's cached columnar view; the exact
+    /// support is the same integer either way, so answers are bit-identical
+    /// to `database().frequency(itemset)`.
     fn estimate(&self, itemset: &Itemset) -> f64 {
-        self.db.frequency(itemset)
+        self.db.columns().frequency(itemset)
+    }
+
+    fn estimate_batch(&self, itemsets: &[Itemset]) -> Vec<f64> {
+        self.db.frequencies(itemsets)
     }
 }
 
@@ -43,7 +50,11 @@ impl FrequencyIndicator for ReleaseDb {
     fn is_frequent(&self, itemset: &Itemset) -> bool {
         // Exact frequency: any threshold inside (ε/2, ε] meets Definition 1;
         // we use ≥ ε so "frequent" matches the common f_T ≥ ε convention.
-        self.db.frequency(itemset) >= self.epsilon
+        self.estimate(itemset) >= self.epsilon
+    }
+
+    fn is_frequent_batch(&self, itemsets: &[Itemset]) -> Vec<bool> {
+        self.estimate_batch(itemsets).into_iter().map(|f| f >= self.epsilon).collect()
     }
 }
 
@@ -66,6 +77,33 @@ mod tests {
         let s = ReleaseDb::build(&db, 0.5);
         assert!(s.is_frequent(&Itemset::singleton(0))); // f = 0.5 = ε
         assert!(!s.is_frequent(&Itemset::singleton(1))); // f = 0.25
+    }
+
+    #[test]
+    fn batch_queries_match_scalar_queries() {
+        let db = Database::from_rows(6, &[vec![0, 1, 2], vec![0, 1], vec![2, 3], vec![], vec![1]]);
+        let s = ReleaseDb::build(&db, 0.3);
+        let queries = vec![
+            Itemset::empty(),
+            Itemset::singleton(1),
+            Itemset::new(vec![0, 1]),
+            Itemset::new(vec![2, 3, 5]),
+        ];
+        assert_eq!(
+            s.estimate_batch(&queries),
+            queries.iter().map(|t| s.estimate(t)).collect::<Vec<_>>()
+        );
+        assert_eq!(
+            s.is_frequent_batch(&queries),
+            queries.iter().map(|t| s.is_frequent(t)).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn empty_database_estimates_zero() {
+        let s = ReleaseDb::build(&Database::zeros(0, 4), 0.2);
+        assert_eq!(s.estimate(&Itemset::singleton(0)), 0.0);
+        assert_eq!(s.estimate_batch(&[Itemset::empty()]), vec![0.0]);
     }
 
     #[test]

@@ -82,14 +82,28 @@ impl Sketch for Subsample {
 }
 
 impl FrequencyEstimator for Subsample {
+    /// Queries run on the sample's cached columnar view ([`Database::columns`]):
+    /// a sketch exists to be queried many times, so the one-off transpose of
+    /// the (small) sample amortizes immediately. The answer is the same
+    /// integer support over the same rows as the row-major path, divided by
+    /// the same row count — bit-identical to `sample().frequency(itemset)`.
     fn estimate(&self, itemset: &Itemset) -> f64 {
-        self.sample.frequency(itemset)
+        self.sample.columns().frequency(itemset)
+    }
+
+    fn estimate_batch(&self, itemsets: &[Itemset]) -> Vec<f64> {
+        self.sample.frequencies(itemsets)
     }
 }
 
 impl FrequencyIndicator for Subsample {
     fn is_frequent(&self, itemset: &Itemset) -> bool {
-        self.sample.frequency(itemset) >= 0.75 * self.epsilon
+        self.estimate(itemset) >= 0.75 * self.epsilon
+    }
+
+    fn is_frequent_batch(&self, itemsets: &[Itemset]) -> Vec<bool> {
+        let thresh = 0.75 * self.epsilon;
+        self.estimate_batch(itemsets).into_iter().map(|f| f >= thresh).collect()
     }
 }
 
@@ -168,6 +182,24 @@ mod tests {
         let db = generators::uniform(100, 8, 0.5, &mut rng);
         let s = Subsample::with_sample_count(&db, 17, 0.1, &mut rng);
         assert_eq!(s.rows(), 17);
+    }
+
+    #[test]
+    fn batch_queries_match_scalar_queries() {
+        let mut rng = Rng64::seeded(36);
+        let db = generators::uniform(600, 20, 0.4, &mut rng);
+        let params = SketchParams::new(3, 0.08, 0.05);
+        let s = Subsample::build(&db, &params, Guarantee::ForEachEstimator, &mut rng);
+        let queries: Vec<Itemset> = (0..50)
+            .map(|_| (0..1 + rng.below(4)).map(|_| rng.below(20) as u32).collect())
+            .chain([Itemset::empty()])
+            .collect();
+        let est = s.estimate_batch(&queries);
+        let ind = s.is_frequent_batch(&queries);
+        for (i, t) in queries.iter().enumerate() {
+            assert_eq!(est[i], s.estimate(t), "estimate diverged on {t}");
+            assert_eq!(ind[i], s.is_frequent(t), "indicator diverged on {t}");
+        }
     }
 
     #[test]

@@ -15,6 +15,17 @@ pub trait Sketch {
 pub trait FrequencyEstimator: Sketch {
     /// Estimate of `f_T(D)`.
     fn estimate(&self, itemset: &Itemset) -> f64;
+
+    /// Estimates for a whole query log, in order.
+    ///
+    /// Contract: element `i` equals `self.estimate(&itemsets[i])` exactly —
+    /// batching is an execution strategy, never an approximation. The
+    /// default delegates to [`FrequencyEstimator::estimate`] so external
+    /// implementations keep compiling; sketches backed by a database
+    /// override it to run on the shared columnar layer (DESIGN.md §7).
+    fn estimate_batch(&self, itemsets: &[Itemset]) -> Vec<f64> {
+        itemsets.iter().map(|t| self.estimate(t)).collect()
+    }
 }
 
 /// Query procedure of an **indicator** sketch: returns the threshold bit.
@@ -22,6 +33,15 @@ pub trait FrequencyIndicator: Sketch {
     /// `true` must be returned when `f_T > ε`; `false` when `f_T < ε/2`
     /// (either answer is acceptable in between).
     fn is_frequent(&self, itemset: &Itemset) -> bool;
+
+    /// Threshold bits for a whole query log, in order.
+    ///
+    /// Contract: element `i` equals `self.is_frequent(&itemsets[i])`
+    /// exactly; see [`FrequencyEstimator::estimate_batch`] for the batching
+    /// policy.
+    fn is_frequent_batch(&self, itemsets: &[Itemset]) -> Vec<bool> {
+        itemsets.iter().map(|t| self.is_frequent(t)).collect()
+    }
 }
 
 /// Adapter: any estimator answers indicator queries by thresholding at the
@@ -62,6 +82,12 @@ impl<E: FrequencyEstimator> FrequencyIndicator for EstimatorAsIndicator<E> {
     fn is_frequent(&self, itemset: &Itemset) -> bool {
         self.inner.estimate(itemset) >= self.threshold
     }
+
+    /// One batched estimator pass, thresholded — so the adapter inherits
+    /// whatever columnar execution the inner estimator provides.
+    fn is_frequent_batch(&self, itemsets: &[Itemset]) -> Vec<bool> {
+        self.inner.estimate_batch(itemsets).into_iter().map(|f| f >= self.threshold).collect()
+    }
 }
 
 /// Blanket impls so `&S` can be passed wherever a sketch is expected.
@@ -75,11 +101,19 @@ impl<S: FrequencyEstimator + ?Sized> FrequencyEstimator for &S {
     fn estimate(&self, itemset: &Itemset) -> f64 {
         (**self).estimate(itemset)
     }
+
+    fn estimate_batch(&self, itemsets: &[Itemset]) -> Vec<f64> {
+        (**self).estimate_batch(itemsets)
+    }
 }
 
 impl<S: FrequencyIndicator + ?Sized> FrequencyIndicator for &S {
     fn is_frequent(&self, itemset: &Itemset) -> bool {
         (**self).is_frequent(itemset)
+    }
+
+    fn is_frequent_batch(&self, itemsets: &[Itemset]) -> Vec<bool> {
+        (**self).is_frequent_batch(itemsets)
     }
 }
 
@@ -123,5 +157,34 @@ mod tests {
             e.estimate(&Itemset::empty())
         }
         assert_eq!(takes_est(&f), 0.9);
+    }
+
+    #[test]
+    fn default_batch_impls_delegate_to_scalar() {
+        let f = Fixed(0.4);
+        let queries = vec![Itemset::empty(), Itemset::singleton(1), Itemset::new(vec![2, 3])];
+        assert_eq!(f.estimate_batch(&queries), vec![0.4; 3]);
+        // Through a reference, too (the blanket impl must forward batches).
+        fn batch_via_ref(e: impl FrequencyEstimator, q: &[Itemset]) -> Vec<f64> {
+            e.estimate_batch(q)
+        }
+        assert_eq!(batch_via_ref(&f, &queries), vec![0.4; 3]);
+        let ind = EstimatorAsIndicator::new(f, 0.5);
+        assert_eq!(ind.is_frequent_batch(&queries), vec![true; 3]); // 0.4 >= 0.375
+        fn ind_via_ref(i: impl FrequencyIndicator, q: &[Itemset]) -> Vec<bool> {
+            i.is_frequent_batch(q)
+        }
+        assert_eq!(ind_via_ref(&ind, &queries), vec![true; 3]);
+        assert_eq!(ind.is_frequent_batch(&[]), Vec::<bool>::new());
+    }
+
+    #[test]
+    fn adapter_batch_matches_scalar_at_threshold_boundary() {
+        // Estimate exactly equal to the threshold: both paths must agree on
+        // the >= comparison.
+        let eps = 0.2;
+        let ind = EstimatorAsIndicator::new(Fixed(0.15), eps);
+        let t = Itemset::singleton(0);
+        assert_eq!(ind.is_frequent_batch(std::slice::from_ref(&t)), vec![ind.is_frequent(&t)]);
     }
 }

@@ -1,0 +1,254 @@
+//! Columnar (vertical) query execution: per-item tid-sets.
+//!
+//! The row-major [`crate::BitMatrix`] is the right layout for *building*
+//! summaries — one pass over rows — but a query workload touches only the
+//! `k` columns of its itemset, so scanning `n` rows per query wastes
+//! `(d − k)/d` of every cache line. `ColumnStore` transposes the matrix
+//! once into per-item packed row-index sets ("tid-sets", as the vertical
+//! mining literature calls them); the support of an itemset is then the
+//! popcount of the AND of `k` column words — `O(k·n/64)` word operations
+//! instead of `O(n·d/64)`.
+//!
+//! This is the same representation Eclat uses internally; promoting it to a
+//! shared layer lets sketches (the batched query methods in `ifs-core`), the
+//! miners, and the benches all reuse one transpose. See DESIGN.md §7 for
+//! when each layout is used.
+
+use crate::{BitMatrix, Itemset};
+use ifs_util::bits;
+
+/// Per-item packed tid-set bitmaps over the rows of a [`BitMatrix`].
+///
+/// Column `c` is stored as a little-endian bit-vector over row indices:
+/// bit `r` of column `c` is set iff cell `(r, c)` of the source matrix is 1.
+/// All columns share one flat allocation; tail bits beyond `rows` are kept
+/// zero so popcounts need no masking.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ColumnStore {
+    rows: usize,
+    dims: usize,
+    words_per_col: usize,
+    words: Vec<u64>,
+}
+
+impl ColumnStore {
+    /// Transposes a row-major matrix into per-item tid-sets (one pass over
+    /// the set bits of the matrix).
+    pub fn build(matrix: &BitMatrix) -> Self {
+        let rows = matrix.rows();
+        let dims = matrix.cols();
+        let words_per_col = bits::words_for(rows).max(1);
+        let mut words = vec![0u64; dims * words_per_col];
+        for r in 0..rows {
+            for c in bits::ones(matrix.row_words(r)) {
+                words[c * words_per_col + r / 64] |= 1u64 << (r % 64);
+            }
+        }
+        Self { rows, dims, words_per_col, words }
+    }
+
+    /// Number of rows `n` of the source matrix.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of items (columns) `d` of the source matrix.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Words per tid-set (layout detail for callers managing scratch).
+    pub fn words_per_col(&self) -> usize {
+        self.words_per_col
+    }
+
+    /// The packed tid-set of item `c`: bit `r` set iff row `r` contains `c`.
+    #[inline]
+    pub fn tids(&self, c: usize) -> &[u64] {
+        assert!(c < self.dims, "item {c} out of range for {} columns", self.dims);
+        &self.words[c * self.words_per_col..(c + 1) * self.words_per_col]
+    }
+
+    /// Support of the single item `c` (popcount of its tid-set).
+    #[inline]
+    pub fn item_support(&self, c: usize) -> usize {
+        bits::count_ones(self.tids(c))
+    }
+
+    /// An empty scratch buffer for tid-set intersections, reusable across
+    /// queries (the batch APIs allocate exactly one). The kernel sizes it on
+    /// the first query that actually needs it.
+    pub fn new_scratch(&self) -> Vec<u64> {
+        Vec::new()
+    }
+
+    /// Intersection kernel: support of `itemset` using caller-owned scratch.
+    ///
+    /// `k = 0` needs no intersection (every row contains the empty set);
+    /// `k ≤ 2` runs allocation- and copy-free via [`bits::and_count`]; larger
+    /// itemsets AND into `scratch` (grown on first use, reused afterwards)
+    /// and fuse the final AND with the popcount.
+    pub fn support_with_scratch(&self, itemset: &Itemset, scratch: &mut Vec<u64>) -> usize {
+        let items = itemset.items();
+        match items {
+            [] => self.rows,
+            [a] => self.item_support(*a as usize),
+            [a, b] => bits::and_count(self.tids(*a as usize), self.tids(*b as usize)),
+            [a, mid @ .., z] => {
+                scratch.resize(self.words_per_col, 0);
+                scratch.copy_from_slice(self.tids(*a as usize));
+                for &c in mid {
+                    bits::and_assign(scratch, self.tids(c as usize));
+                }
+                bits::and_count(scratch, self.tids(*z as usize))
+            }
+        }
+    }
+
+    /// Support of `itemset`: rows containing every item. Allocation-free for
+    /// `|itemset| ≤ 2` (the dominant cardinalities in query workloads).
+    pub fn support(&self, itemset: &Itemset) -> usize {
+        self.support_with_scratch(itemset, &mut Vec::new())
+    }
+
+    /// Frequency `f_T` ∈ [0, 1]; 0 for an empty store (matching
+    /// [`crate::Database::frequency`]).
+    pub fn frequency(&self, itemset: &Itemset) -> f64 {
+        if self.rows == 0 {
+            return 0.0;
+        }
+        self.support(itemset) as f64 / self.rows as f64
+    }
+
+    /// Supports of a whole query log, sharing one scratch buffer.
+    pub fn support_batch(&self, itemsets: &[Itemset]) -> Vec<usize> {
+        let mut scratch = self.new_scratch();
+        itemsets.iter().map(|t| self.support_with_scratch(t, &mut scratch)).collect()
+    }
+
+    /// Frequencies of a whole query log, sharing one scratch buffer.
+    ///
+    /// Bit-identical to calling [`Self::frequency`] per itemset: both divide
+    /// the same integer support by the same integer row count.
+    pub fn frequency_batch(&self, itemsets: &[Itemset]) -> Vec<f64> {
+        if self.rows == 0 {
+            return vec![0.0; itemsets.len()];
+        }
+        let n = self.rows as f64;
+        let mut scratch = self.new_scratch();
+        itemsets.iter().map(|t| self.support_with_scratch(t, &mut scratch) as f64 / n).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Database;
+
+    fn toy() -> Database {
+        Database::from_rows(5, &[vec![0, 1, 2], vec![0, 1], vec![1, 2, 3], vec![4], vec![0, 4]])
+    }
+
+    #[test]
+    fn supports_match_row_major() {
+        let db = toy();
+        let store = ColumnStore::build(db.matrix());
+        for t in [
+            Itemset::empty(),
+            Itemset::singleton(0),
+            Itemset::new(vec![0, 1]),
+            Itemset::new(vec![1, 2]),
+            Itemset::new(vec![0, 1, 2]),
+            Itemset::new(vec![0, 3]),
+            Itemset::new(vec![0, 1, 2, 3, 4]),
+        ] {
+            assert_eq!(store.support(&t), db.support(&t), "itemset {t}");
+            assert_eq!(store.frequency(&t), db.frequency(&t), "itemset {t}");
+        }
+    }
+
+    #[test]
+    fn batch_matches_scalar() {
+        let db = toy();
+        let store = ColumnStore::build(db.matrix());
+        let queries = vec![
+            Itemset::new(vec![0, 1]),
+            Itemset::empty(),
+            Itemset::new(vec![2, 3]),
+            Itemset::new(vec![0, 1, 4]),
+        ];
+        let supports = store.support_batch(&queries);
+        let freqs = store.frequency_batch(&queries);
+        for (i, t) in queries.iter().enumerate() {
+            assert_eq!(supports[i], store.support(t));
+            assert_eq!(freqs[i], store.frequency(t));
+        }
+    }
+
+    #[test]
+    fn tids_reflect_rows() {
+        let db = toy();
+        let store = ColumnStore::build(db.matrix());
+        assert_eq!(ifs_util::bits::ones(store.tids(0)).collect::<Vec<_>>(), vec![0, 1, 4]);
+        assert_eq!(ifs_util::bits::ones(store.tids(4)).collect::<Vec<_>>(), vec![3, 4]);
+        assert_eq!(store.item_support(1), 3);
+    }
+
+    #[test]
+    fn empty_database() {
+        let store = ColumnStore::build(Database::zeros(0, 8).matrix());
+        assert_eq!(store.rows(), 0);
+        assert_eq!(store.support(&Itemset::empty()), 0);
+        assert_eq!(store.support(&Itemset::new(vec![0, 7])), 0);
+        assert_eq!(store.frequency(&Itemset::empty()), 0.0);
+        assert_eq!(store.frequency_batch(&[Itemset::singleton(3)]), vec![0.0]);
+    }
+
+    #[test]
+    fn zero_column_matrix() {
+        let store = ColumnStore::build(Database::zeros(6, 0).matrix());
+        assert_eq!(store.dims(), 0);
+        // Only the empty itemset is askable; it is in every row.
+        assert_eq!(store.support(&Itemset::empty()), 6);
+        assert_eq!(store.frequency(&Itemset::empty()), 1.0);
+    }
+
+    #[test]
+    fn empty_itemset_has_frequency_one() {
+        let store = ColumnStore::build(toy().matrix());
+        assert_eq!(store.frequency(&Itemset::empty()), 1.0);
+        assert_eq!(store.frequency_batch(&[Itemset::empty()]), vec![1.0]);
+    }
+
+    #[test]
+    fn last_bit_of_final_word() {
+        // 130 rows: rows occupy three words per column with a 2-bit tail;
+        // 65 columns: the itemset {64} indexes the last allocated column.
+        let n = 130;
+        let db = Database::from_fn(n, 65, |r, c| r == n - 1 || c == 64);
+        let store = ColumnStore::build(db.matrix());
+        assert_eq!(store.words_per_col(), 3);
+        // Item 64 is in every row; the final row contains everything.
+        assert_eq!(store.support(&Itemset::singleton(64)), n);
+        assert_eq!(store.support(&Itemset::new(vec![0, 64])), 1);
+        assert_eq!(store.support(&Itemset::new(vec![0, 30, 64])), 1);
+        assert!(ifs_util::bits::get(store.tids(0), n - 1), "last row, final word tail bit");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_item_panics() {
+        ColumnStore::build(toy().matrix()).support(&Itemset::singleton(5));
+    }
+
+    #[test]
+    fn scratch_reuse_is_stateless() {
+        let store = ColumnStore::build(toy().matrix());
+        let mut scratch = store.new_scratch();
+        let a = Itemset::new(vec![0, 1, 2]);
+        let b = Itemset::new(vec![1, 2, 3]);
+        let first = store.support_with_scratch(&a, &mut scratch);
+        let _ = store.support_with_scratch(&b, &mut scratch);
+        assert_eq!(store.support_with_scratch(&a, &mut scratch), first);
+    }
+}

@@ -1,26 +1,61 @@
 //! The `Database` type: rows, dimensions, and frequency queries.
 
-use crate::{BitMatrix, Itemset};
+use crate::{BitMatrix, ColumnStore, Itemset};
+use std::sync::OnceLock;
 
 /// A binary database `D ∈ ({0,1}^d)^n` (§1.3 of the paper).
 ///
 /// Thin semantic wrapper over [`BitMatrix`]: `n = rows()`, `d = dims()`. The
 /// central query is [`Database::frequency`], the fraction of rows containing
 /// an itemset — `f_T(D) = (1/n)·Σ_i 1{T ⊆ D(i)}`.
-#[derive(Clone, PartialEq, Eq, Debug)]
+///
+/// Two query layouts coexist (DESIGN.md §7): the row-major matrix answers
+/// one-shot queries without preprocessing, and a lazily built, cached
+/// [`ColumnStore`] ([`Database::columns`]) serves repeated or batched
+/// queries ([`Database::frequencies`]) at columnar speed. Identity (`Eq`,
+/// `Debug`, serialization) is defined by the matrix alone; the cache is a
+/// derived view and is invalidated by [`Database::matrix_mut`].
 pub struct Database {
     matrix: BitMatrix,
+    columns: OnceLock<ColumnStore>,
+}
+
+impl Clone for Database {
+    fn clone(&self) -> Self {
+        let columns = OnceLock::new();
+        // Propagate an already-built columnar view: cloning is how sketches
+        // capture a database, and their query side is exactly the workload
+        // the cache exists for.
+        if let Some(store) = self.columns.get() {
+            let _ = columns.set(store.clone());
+        }
+        Self { matrix: self.matrix.clone(), columns }
+    }
+}
+
+impl PartialEq for Database {
+    fn eq(&self, other: &Self) -> bool {
+        self.matrix == other.matrix
+    }
+}
+
+impl Eq for Database {}
+
+impl std::fmt::Debug for Database {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Database").field("matrix", &self.matrix).finish()
+    }
 }
 
 impl Database {
     /// Wraps an existing matrix (rows are database records).
     pub fn from_matrix(matrix: BitMatrix) -> Self {
-        Self { matrix }
+        Self { matrix, columns: OnceLock::new() }
     }
 
     /// An all-zero database with `n` rows and `d` attributes.
     pub fn zeros(n: usize, d: usize) -> Self {
-        Self { matrix: BitMatrix::zeros(n, d) }
+        Self::from_matrix(BitMatrix::zeros(n, d))
     }
 
     /// Builds from explicit rows given as attribute-index lists.
@@ -33,12 +68,12 @@ impl Database {
                 m.set(r, c as usize, true);
             }
         }
-        Self { matrix: m }
+        Self::from_matrix(m)
     }
 
     /// Builds from a cell predicate.
     pub fn from_fn(n: usize, d: usize, f: impl FnMut(usize, usize) -> bool) -> Self {
-        Self { matrix: BitMatrix::from_fn(n, d, f) }
+        Self::from_matrix(BitMatrix::from_fn(n, d, f))
     }
 
     /// Number of rows `n`.
@@ -57,8 +92,24 @@ impl Database {
     }
 
     /// Mutable access to the underlying matrix.
+    ///
+    /// Drops any cached columnar view: the caller may change cells, and the
+    /// next [`Database::columns`] call rebuilds the transpose from scratch.
     pub fn matrix_mut(&mut self) -> &mut BitMatrix {
+        self.columns.take();
         &mut self.matrix
+    }
+
+    /// The columnar (tid-set) view of this database, built on first use and
+    /// cached. Shared by the batched query APIs and the vertical miners, so
+    /// the `O(nd/64)` transpose is paid at most once per database.
+    pub fn columns(&self) -> &ColumnStore {
+        self.columns.get_or_init(|| ColumnStore::build(&self.matrix))
+    }
+
+    /// True iff the columnar view has already been materialized.
+    pub fn has_column_cache(&self) -> bool {
+        self.columns.get().is_some()
     }
 
     /// Cell accessor `D(i, j)`.
@@ -84,6 +135,27 @@ impl Database {
             return 0.0;
         }
         self.support(itemset) as f64 / self.rows() as f64
+    }
+
+    /// Supports of a whole query log on the cached columnar view.
+    ///
+    /// Answers are bit-identical to calling [`Database::support`] per
+    /// itemset (both count the same rows; see `tests/columnar_queries.rs`).
+    pub fn support_batch(&self, itemsets: &[Itemset]) -> Vec<usize> {
+        self.columns().support_batch(itemsets)
+    }
+
+    /// Frequencies of a whole query log on the cached columnar view.
+    ///
+    /// The batched, columnar counterpart of [`Database::frequency`]: one
+    /// shared transpose, one scratch buffer, `O(k·n/64)` words per query —
+    /// and no per-call mask rebuild, so repeated queries of the same itemset
+    /// cost only the intersection.
+    pub fn frequencies(&self, itemsets: &[Itemset]) -> Vec<f64> {
+        if self.rows() == 0 {
+            return vec![0.0; itemsets.len()];
+        }
+        self.columns().frequency_batch(itemsets)
     }
 
     /// Pre-resolves an itemset into a packed mask for repeated row tests.
@@ -228,6 +300,60 @@ mod tests {
     fn density_counts_ones() {
         let db = toy();
         assert!((db.density() - 9.0 / 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn frequencies_match_scalar_frequency() {
+        let db = toy();
+        let queries = vec![
+            Itemset::empty(),
+            Itemset::new(vec![0, 1]),
+            Itemset::singleton(1),
+            Itemset::new(vec![0, 3]),
+            Itemset::new(vec![1, 2, 3]),
+        ];
+        let batch = db.frequencies(&queries);
+        for (t, &f) in queries.iter().zip(&batch) {
+            assert_eq!(f, db.frequency(t), "itemset {t}");
+        }
+        assert_eq!(db.support_batch(&queries)[1], db.support(&queries[1]));
+    }
+
+    #[test]
+    fn column_cache_lazy_and_invalidated_on_mutation() {
+        let mut db = toy();
+        assert!(!db.has_column_cache());
+        assert_eq!(db.columns().support(&Itemset::singleton(4)), 1);
+        assert!(db.has_column_cache());
+        db.matrix_mut().set(0, 4, true);
+        assert!(!db.has_column_cache(), "mutation must drop the cached view");
+        assert_eq!(db.columns().support(&Itemset::singleton(4)), 2);
+        assert_eq!(db.frequency(&Itemset::singleton(4)), 0.5);
+    }
+
+    #[test]
+    fn clone_and_eq_ignore_cache_state() {
+        let db = toy();
+        let warm = db.clone();
+        let _ = warm.columns();
+        assert_eq!(db, warm, "cache state must not affect equality");
+        let cloned_warm = warm.clone();
+        assert!(cloned_warm.has_column_cache(), "clone keeps an already-built view");
+        assert_eq!(cloned_warm, db);
+    }
+
+    #[test]
+    fn database_stays_send_and_sync() {
+        // The columnar cache is an OnceLock precisely so sketches can be
+        // queried from multiple threads; a regression here breaks that.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Database>();
+    }
+
+    #[test]
+    fn frequencies_on_empty_database_are_zero() {
+        let db = Database::zeros(0, 8);
+        assert_eq!(db.frequencies(&[Itemset::empty(), Itemset::singleton(2)]), vec![0.0, 0.0]);
     }
 
     #[test]

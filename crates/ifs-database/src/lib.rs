@@ -13,6 +13,9 @@
 //!   aligned to the matrix layout, so `row ⊇ T` is a handful of AND/CMP ops.
 //! * [`Database`] — rows + dimension bookkeeping + frequency/support queries
 //!   and column views.
+//! * [`ColumnStore`] — the columnar execution layer: per-item packed
+//!   tid-sets with AND+popcount intersection kernels and batched
+//!   support/frequency queries, cached lazily on [`Database::columns`].
 //! * [`generators`] — workload generators: i.i.d. Bernoulli databases,
 //!   planted itemsets, Zipf-popularity market-basket data with correlated
 //!   bundles, and the binary decomposition of categorical attributes
@@ -25,6 +28,7 @@
 #![warn(missing_docs)]
 
 mod bitmatrix;
+mod columnstore;
 mod database;
 pub mod generators;
 mod itemset;
@@ -32,5 +36,6 @@ pub mod serialize;
 pub mod stats;
 
 pub use bitmatrix::BitMatrix;
+pub use columnstore::ColumnStore;
 pub use database::Database;
 pub use itemset::Itemset;

@@ -2,11 +2,12 @@
 //! and experiment harness report alongside sketch measurements.
 
 use crate::{Database, Itemset};
-use ifs_util::bits;
 
-/// Per-column supports (number of rows with a 1 in each column).
+/// Per-column supports (number of rows with a 1 in each column), read off
+/// the shared columnar view.
 pub fn column_supports(db: &Database) -> Vec<usize> {
-    (0..db.dims()).map(|c| bits::count_ones(&db.matrix().column(c))).collect()
+    let store = db.columns();
+    (0..db.dims()).map(|c| store.item_support(c)).collect()
 }
 
 /// Per-column frequencies.

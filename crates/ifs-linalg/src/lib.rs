@@ -1,7 +1,7 @@
 //! Dense linear algebra for the Theorem 16 machinery.
 //!
-//! The paper's For-All-Estimator lower bound (Theorem 16, via De [De12] and
-//! KRSU [KRSU10]) rests on spectral properties of *Hadamard row-products* of
+//! The paper's For-All-Estimator lower bound (Theorem 16, via De \[De12\] and
+//! KRSU \[KRSU10\]) rests on spectral properties of *Hadamard row-products* of
 //! random 0/1 matrices (Definition 22), their smallest singular values
 //! (Rudelson's Lemma 26), and the *Euclidean section* property of their
 //! ranges (Definition 23). Reproducing those measurements needs a small,

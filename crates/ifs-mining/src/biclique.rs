@@ -7,7 +7,7 @@
 //! subgraph `K_{s,c}` (every supporting row connects to every item). The
 //! paper uses this to observe that finding an approximately maximum
 //! *balanced* frequent itemset is NP-hard (via hardness of Balanced Complete
-//! Bipartite Subgraph [FK04]).
+//! Bipartite Subgraph \[FK04\]).
 //!
 //! This module makes the reduction executable: conversions both ways, an
 //! exact (exponential) maximum-balanced-biclique search for small instances,
@@ -88,17 +88,18 @@ pub fn max_balanced_exact(db: &Database) -> Biclique {
 pub fn max_balanced_greedy(db: &Database) -> Biclique {
     let d = db.dims();
     let n = db.rows();
+    let store = db.columns();
     let mut order: Vec<u32> = (0..d as u32).collect();
-    let supports: Vec<usize> = (0..d).map(|c| bits::count_ones(&db.matrix().column(c))).collect();
+    let supports: Vec<usize> = (0..d).map(|c| store.item_support(c)).collect();
     order.sort_by(|&a, &b| supports[b as usize].cmp(&supports[a as usize]).then(a.cmp(&b)));
     let mut rows_mask = vec![u64::MAX; ifs_util::bits::words_for(n).max(1)];
     bits::mask_tail(&mut rows_mask, n);
     let mut cols: Vec<u32> = Vec::new();
     let mut best: Option<(usize, Vec<u32>, Vec<u64>)> = None;
     for &c in &order {
-        let col = db.matrix().column(c as usize);
+        let col = store.tids(c as usize);
         let mut tentative = rows_mask.clone();
-        bits::and_assign(&mut tentative, &col);
+        bits::and_assign(&mut tentative, col);
         let support = bits::count_ones(&tentative);
         if support == 0 {
             continue; // adding this column kills the biclique entirely

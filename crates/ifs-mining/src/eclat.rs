@@ -3,8 +3,10 @@
 //! Each item maps to the bitset of rows containing it ("tid-set"); the
 //! frequency of an itemset is the popcount of the intersection of its
 //! items' tid-sets. Depth-first extension with intersection reuse makes
-//! this the fastest of the three miners on dense laptop-scale data, and the
-//! packed representation reuses the database's own word layout.
+//! this the fastest of the three miners on dense laptop-scale data. The
+//! tid-sets are the database's shared [`ifs_database::ColumnStore`]
+//! (DESIGN.md §7), so the transpose is built once per database and reused
+//! across miners, sketch queries, and repeated mining runs.
 
 use crate::MinedItemset;
 use ifs_database::{Database, Itemset};
@@ -19,21 +21,20 @@ pub fn mine(db: &Database, min_frequency: f64, max_len: usize) -> Vec<MinedItems
         return results;
     }
     let min_support = (min_frequency * n as f64).ceil().max(1.0) as usize;
-    // Vertical representation: tid-set per item.
-    let columns: Vec<Vec<u64>> = (0..db.dims()).map(|c| db.matrix().column(c)).collect();
-    let frequent_items: Vec<(u32, &Vec<u64>)> = columns
-        .iter()
-        .enumerate()
-        .filter(|(_, tids)| bits::count_ones(tids) >= min_support)
-        .map(|(i, tids)| (i as u32, tids))
+    // Vertical representation: the database's cached per-item tid-sets.
+    let store = db.columns();
+    let frequent_items: Vec<(u32, &[u64], usize)> = (0..db.dims())
+        .filter_map(|c| {
+            let tids = store.tids(c);
+            let support = bits::count_ones(tids);
+            (support >= min_support).then_some((c as u32, tids, support))
+        })
         .collect();
     // DFS stack holds (prefix itemset, prefix tidset, start index in items).
-    for (idx, &(item, tids)) in frequent_items.iter().enumerate() {
+    for (idx, &(item, tids, support)) in frequent_items.iter().enumerate() {
         let prefix = Itemset::singleton(item);
-        results.push(MinedItemset {
-            itemset: prefix.clone(),
-            frequency: bits::count_ones(tids) as f64 / n as f64,
-        });
+        results
+            .push(MinedItemset { itemset: prefix.clone(), frequency: support as f64 / n as f64 });
         extend(&prefix, tids, &frequent_items, idx + 1, min_support, n, max_len, &mut results);
     }
     results
@@ -43,7 +44,7 @@ pub fn mine(db: &Database, min_frequency: f64, max_len: usize) -> Vec<MinedItems
 fn extend(
     prefix: &Itemset,
     prefix_tids: &[u64],
-    items: &[(u32, &Vec<u64>)],
+    items: &[(u32, &[u64], usize)],
     start: usize,
     min_support: usize,
     n: usize,
@@ -53,7 +54,7 @@ fn extend(
     if prefix.len() >= max_len {
         return;
     }
-    for (idx, &(item, tids)) in items.iter().enumerate().skip(start) {
+    for (idx, &(item, tids, _)) in items.iter().enumerate().skip(start) {
         let mut inter = prefix_tids.to_vec();
         bits::and_assign(&mut inter, tids);
         let support = bits::count_ones(&inter);

@@ -17,7 +17,7 @@
 //! * [`biclique`] — the §1.1.1 reduction between frequent itemsets and
 //!   balanced complete bipartite subgraphs, with exact and greedy finders.
 //! * [`oracle`] — Apriori against *any* frequency estimator, the
-//!   ε-adequate-representation workflow of [MT96]: mine from a sketch
+//!   ε-adequate-representation workflow of \[MT96\]: mine from a sketch
 //!   instead of the database.
 
 #![forbid(unsafe_code)]

@@ -1,4 +1,4 @@
-//! Mining from a sketch — the ε-adequate representation workflow of [MT96].
+//! Mining from a sketch — the ε-adequate representation workflow of \[MT96\].
 //!
 //! Mannila–Toivonen define an ε-adequate representation as any structure
 //! answering itemset frequency queries to within ε; the paper's
@@ -7,7 +7,7 @@
 //! replaces the database entirely — the "interactive knowledge discovery"
 //! scenario of §1.1.2.
 //!
-//! Guarantee inherited from [MT96]: with a threshold `θ` and a sketch of
+//! Guarantee inherited from \[MT96\]: with a threshold `θ` and a sketch of
 //! additive error ε, mining at `θ − ε` returns every itemset with true
 //! frequency ≥ θ and nothing with true frequency < θ − 2ε.
 
@@ -21,6 +21,12 @@ use ifs_database::Itemset;
 /// whose estimate falls below `min_frequency` are pruned exactly as in
 /// Apriori (downward closure holds for the *estimates* only approximately,
 /// which is the error-propagation phenomenon E12 measures).
+///
+/// Each level issues **one** [`FrequencyEstimator::estimate_batch`] call
+/// over all surviving candidates, so sketches with a columnar query engine
+/// (e.g. `Subsample`, `ReleaseDb`) answer the whole level on shared
+/// tid-sets; the batching contract guarantees the mined output is identical
+/// to the scalar per-candidate loop.
 pub fn mine_with_estimator<E: FrequencyEstimator>(
     sketch: &E,
     dims: usize,
@@ -31,28 +37,20 @@ pub fn mine_with_estimator<E: FrequencyEstimator>(
     if max_len == 0 {
         return results;
     }
-    let mut current: Vec<Itemset> = Vec::new();
-    for item in 0..dims as u32 {
-        let t = Itemset::singleton(item);
-        let f = sketch.estimate(&t);
-        if f >= min_frequency {
-            results.push(MinedItemset { itemset: t.clone(), frequency: f });
-            current.push(t);
-        }
-    }
-    let mut k = 1usize;
+    // Level 1: every singleton is a candidate.
+    let mut current: Vec<Itemset> = (0..dims as u32).map(Itemset::singleton).collect();
+    let mut k = 0usize;
     while !current.is_empty() && k < max_len {
-        let candidates = crate::apriori::generate_candidates(&current);
+        let estimates = sketch.estimate_batch(&current);
         let mut next = Vec::new();
-        for cand in candidates {
-            let f = sketch.estimate(&cand);
+        for (cand, f) in current.into_iter().zip(estimates) {
             if f >= min_frequency {
                 results.push(MinedItemset { itemset: cand.clone(), frequency: f });
                 next.push(cand);
             }
         }
-        current = next;
         k += 1;
+        current = if k < max_len { crate::apriori::generate_candidates(&next) } else { Vec::new() };
     }
     results
 }

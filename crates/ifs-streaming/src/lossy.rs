@@ -1,4 +1,4 @@
-//! Lossy Counting — Manku & Motwani [MM02], the algorithm the paper cites
+//! Lossy Counting — Manku & Motwani \[MM02\], the algorithm the paper cites
 //! as the origin of streaming frequent-itemset mining.
 //!
 //! The stream is processed in buckets of width `⌈1/ε⌉`; at bucket
@@ -44,7 +44,7 @@ impl<T: Hash + Eq + Clone> LossyCounting<T> {
         (self.epsilon * self.len as f64).ceil() as u64
     }
 
-    /// Items with estimated frequency at least `theta − ε` — the [MM02]
+    /// Items with estimated frequency at least `theta − ε` — the \[MM02\]
     /// query answering "all items with frequency ≥ θ, none below θ − ε".
     pub fn frequent_items(&self, theta: f64) -> Vec<(T, u64)> {
         let cutoff = ((theta - self.epsilon) * self.len as f64).max(0.0);
@@ -55,7 +55,7 @@ impl<T: Hash + Eq + Clone> LossyCounting<T> {
             .collect()
     }
 
-    /// High-water mark of tracked entries (the space actually used; [MM02]
+    /// High-water mark of tracked entries (the space actually used; \[MM02\]
     /// bounds it by `(1/ε)·log(εN)`).
     pub fn peak_entries(&self) -> usize {
         self.max_entries_seen

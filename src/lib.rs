@@ -59,6 +59,6 @@ pub mod prelude {
         Guarantee, ReleaseAnswersEstimator, ReleaseAnswersIndicator, ReleaseDb, Sketch,
         SketchParams, Subsample,
     };
-    pub use ifs_database::{generators, Database, Itemset};
+    pub use ifs_database::{generators, ColumnStore, Database, Itemset};
     pub use ifs_util::Rng64;
 }
