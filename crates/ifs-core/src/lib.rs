@@ -41,4 +41,4 @@ pub use params::{Guarantee, SketchParams};
 pub use release_answers::{ReleaseAnswersEstimator, ReleaseAnswersIndicator};
 pub use release_db::ReleaseDb;
 pub use subsample::Subsample;
-pub use traits::{EstimatorAsIndicator, FrequencyEstimator, FrequencyIndicator, Sketch};
+pub use traits::{EstimatorAsIndicator, FrequencyEstimator, FrequencyIndicator, Parallel, Sketch};

@@ -1,7 +1,8 @@
 //! RELEASE-DB (Definition 6): the identity sketch.
 
-use crate::traits::{FrequencyEstimator, FrequencyIndicator, Sketch};
+use crate::traits::{FrequencyEstimator, FrequencyIndicator, Parallel, Sketch};
 use ifs_database::{serialize, Database, Itemset};
+use ifs_util::threads::clamp_threads;
 
 /// Releases the database verbatim; queries are exact.
 ///
@@ -12,13 +13,14 @@ use ifs_database::{serialize, Database, Itemset};
 pub struct ReleaseDb {
     db: Database,
     epsilon: f64,
+    threads: usize,
 }
 
 impl ReleaseDb {
     /// Builds the sketch (a copy of the database) for threshold ε.
     pub fn build(db: &Database, epsilon: f64) -> Self {
         assert!(epsilon > 0.0 && epsilon < 1.0);
-        Self { db: db.clone(), epsilon }
+        Self { db: db.clone(), epsilon, threads: 1 }
     }
 
     /// The stored database.
@@ -41,8 +43,21 @@ impl FrequencyEstimator for ReleaseDb {
         self.db.columns().frequency(itemset)
     }
 
+    /// Batches run with the sketch's thread knob ([`Parallel`]): the
+    /// sharded store's summed per-shard popcounts are the same integers the
+    /// serial store computes, so answers stay exact and bit-identical.
     fn estimate_batch(&self, itemsets: &[Itemset]) -> Vec<f64> {
-        self.db.frequencies(itemsets)
+        self.db.frequencies_with_threads(itemsets, self.threads)
+    }
+}
+
+impl Parallel for ReleaseDb {
+    fn set_threads(&mut self, threads: usize) {
+        self.threads = clamp_threads(threads);
+    }
+
+    fn threads(&self) -> usize {
+        self.threads
     }
 }
 
@@ -97,6 +112,22 @@ mod tests {
             s.is_frequent_batch(&queries),
             queries.iter().map(|t| s.is_frequent(t)).collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn thread_knob_does_not_change_answers() {
+        let db = Database::from_rows(6, &[vec![0, 1, 2], vec![0, 1], vec![2, 3], vec![], vec![1]]);
+        let serial = ReleaseDb::build(&db, 0.3);
+        let threaded = ReleaseDb::build(&db, 0.3).with_threads(8);
+        assert_eq!(threaded.threads(), 8);
+        let queries = vec![
+            Itemset::empty(),
+            Itemset::singleton(1),
+            Itemset::new(vec![0, 1]),
+            Itemset::new(vec![2, 3, 5]),
+        ];
+        assert_eq!(threaded.estimate_batch(&queries), serial.estimate_batch(&queries));
+        assert_eq!(threaded.is_frequent_batch(&queries), serial.is_frequent_batch(&queries));
     }
 
     #[test]

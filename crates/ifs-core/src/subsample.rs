@@ -13,8 +13,9 @@
 //! | For-All-Estimator | `O(ε⁻² log(C(d,k)/δ))` |
 
 use crate::params::{Guarantee, SketchParams};
-use crate::traits::{FrequencyEstimator, FrequencyIndicator, Sketch};
+use crate::traits::{FrequencyEstimator, FrequencyIndicator, Parallel, Sketch};
 use ifs_database::{serialize, Database, Itemset};
+use ifs_util::threads::clamp_threads;
 use ifs_util::{tail, Rng64};
 
 /// A uniform with-replacement row sample of the database.
@@ -22,6 +23,7 @@ use ifs_util::{tail, Rng64};
 pub struct Subsample {
     sample: Database,
     epsilon: f64,
+    threads: usize,
 }
 
 impl Subsample {
@@ -39,10 +41,15 @@ impl Subsample {
 
     /// Builds a sketch with an explicit number of sampled rows — the knob the
     /// lower-bound experiments turn to trade space against accuracy.
+    ///
+    /// `s` must be positive: a 0-row sample answers no query (its frequency
+    /// estimates would be `0/0`), and every Lemma 9 sample count is ≥ 1, so
+    /// an `s = 0` request is always a caller bug.
     pub fn with_sample_count(db: &Database, s: usize, epsilon: f64, rng: &mut Rng64) -> Self {
         assert!(db.rows() > 0, "cannot sample an empty database");
+        assert!(s > 0, "sample count must be positive: a 0-row sample answers no query");
         let indices: Vec<usize> = (0..s).map(|_| rng.below(db.rows())).collect();
-        Self { sample: db.select_rows(&indices), epsilon }
+        Self { sample: db.select_rows(&indices), epsilon, threads: 1 }
     }
 
     /// Lemma 9's sample count for the guarantee. For the indicator variants
@@ -91,8 +98,21 @@ impl FrequencyEstimator for Subsample {
         self.sample.columns().frequency(itemset)
     }
 
+    /// Batches run with the sketch's thread knob ([`Parallel`]): serial on
+    /// the cached [`ColumnStore`](ifs_database::ColumnStore) at 1 thread,
+    /// on the sharded store above — bit-identical either way (DESIGN.md §8).
     fn estimate_batch(&self, itemsets: &[Itemset]) -> Vec<f64> {
-        self.sample.frequencies(itemsets)
+        self.sample.frequencies_with_threads(itemsets, self.threads)
+    }
+}
+
+impl Parallel for Subsample {
+    fn set_threads(&mut self, threads: usize) {
+        self.threads = clamp_threads(threads);
+    }
+
+    fn threads(&self) -> usize {
+        self.threads
     }
 }
 
@@ -208,5 +228,53 @@ mod tests {
         let mut rng = Rng64::seeded(35);
         let db = Database::zeros(0, 4);
         Subsample::with_sample_count(&db, 5, 0.1, &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "sample count must be positive")]
+    fn zero_sample_count_is_rejected() {
+        // Historically this built a 0-row sample whose frequency queries
+        // were 0/0; now it is rejected at construction, before either the
+        // scalar or the batched query path can observe an empty sample.
+        let mut rng = Rng64::seeded(37);
+        let db = Database::zeros(10, 4);
+        Subsample::with_sample_count(&db, 0, 0.1, &mut rng);
+    }
+
+    #[test]
+    fn lemma9_sample_counts_are_always_positive() {
+        // No (ε, δ, d, k) combination may round the Lemma 9 count to 0 —
+        // otherwise `build` would hit the 0-row rejection above.
+        for eps in [0.01, 0.5, 0.999] {
+            for delta in [1e-6, 0.5, 0.999] {
+                for (d, k) in [(1usize, 1usize), (4, 2), (64, 4), (256, 8)] {
+                    let params = SketchParams::new(k, eps, delta);
+                    for g in [
+                        Guarantee::ForEachIndicator,
+                        Guarantee::ForEachEstimator,
+                        Guarantee::ForAllIndicator,
+                        Guarantee::ForAllEstimator,
+                    ] {
+                        let s = Subsample::sample_count(d, &params, g);
+                        assert!(s >= 1, "s = 0 for eps={eps} delta={delta} d={d} k={k} {g:?}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn thread_knob_does_not_change_answers() {
+        let mut rng = Rng64::seeded(38);
+        let db = generators::uniform(700, 24, 0.4, &mut rng);
+        let serial = Subsample::with_sample_count(&db, 300, 0.1, &mut Rng64::seeded(9));
+        let threaded =
+            Subsample::with_sample_count(&db, 300, 0.1, &mut Rng64::seeded(9)).with_threads(4);
+        assert_eq!(threaded.threads(), 4);
+        let queries: Vec<Itemset> = (0..60)
+            .map(|_| (0..1 + rng.below(4)).map(|_| rng.below(24) as u32).collect())
+            .collect();
+        assert_eq!(threaded.estimate_batch(&queries), serial.estimate_batch(&queries));
+        assert_eq!(threaded.is_frequent_batch(&queries), serial.is_frequent_batch(&queries));
     }
 }

@@ -44,6 +44,31 @@ pub trait FrequencyIndicator: Sketch {
     }
 }
 
+/// The thread-count knob of the parallel execution layer (DESIGN.md §8).
+///
+/// Sketches whose batched query paths can run on the sharded columnar
+/// engine implement this; the knob defaults to 1 (serial) and is purely an
+/// execution hint: answers are **required to be bit-identical** at every
+/// thread count (enforced by `tests/sharded_queries.rs`). Wrappers like
+/// [`EstimatorAsIndicator`] forward the knob to their inner sketch.
+pub trait Parallel {
+    /// Sets the number of worker threads used by the batched query paths
+    /// (`0` and `1` both mean serial).
+    fn set_threads(&mut self, threads: usize);
+
+    /// The current thread count (1 = serial).
+    fn threads(&self) -> usize;
+
+    /// Builder-style convenience: `sketch.with_threads(4)`.
+    fn with_threads(mut self, threads: usize) -> Self
+    where
+        Self: Sized,
+    {
+        self.set_threads(threads);
+        self
+    }
+}
+
 /// Adapter: any estimator answers indicator queries by thresholding at the
 /// dead-zone midpoint `3ε/4`.
 ///
@@ -87,6 +112,18 @@ impl<E: FrequencyEstimator> FrequencyIndicator for EstimatorAsIndicator<E> {
     /// whatever columnar execution the inner estimator provides.
     fn is_frequent_batch(&self, itemsets: &[Itemset]) -> Vec<bool> {
         self.inner.estimate_batch(itemsets).into_iter().map(|f| f >= self.threshold).collect()
+    }
+}
+
+/// The adapter's thread knob is the inner estimator's: its batched path is
+/// one `estimate_batch` call, so forwarding is the whole implementation.
+impl<E: FrequencyEstimator + Parallel> Parallel for EstimatorAsIndicator<E> {
+    fn set_threads(&mut self, threads: usize) {
+        self.inner.set_threads(threads);
+    }
+
+    fn threads(&self) -> usize {
+        self.inner.threads()
     }
 }
 
@@ -176,6 +213,32 @@ mod tests {
         }
         assert_eq!(ind_via_ref(&ind, &queries), vec![true; 3]);
         assert_eq!(ind.is_frequent_batch(&[]), Vec::<bool>::new());
+    }
+
+    #[test]
+    fn adapter_forwards_thread_knob_to_inner() {
+        struct Knobbed(f64, usize);
+        impl Sketch for Knobbed {
+            fn size_bits(&self) -> u64 {
+                64
+            }
+        }
+        impl FrequencyEstimator for Knobbed {
+            fn estimate(&self, _: &Itemset) -> f64 {
+                self.0
+            }
+        }
+        impl Parallel for Knobbed {
+            fn set_threads(&mut self, threads: usize) {
+                self.1 = threads.max(1);
+            }
+            fn threads(&self) -> usize {
+                self.1
+            }
+        }
+        let adapter = EstimatorAsIndicator::new(Knobbed(0.5, 1), 0.1).with_threads(4);
+        assert_eq!(adapter.threads(), 4);
+        assert_eq!(adapter.inner().1, 4);
     }
 
     #[test]

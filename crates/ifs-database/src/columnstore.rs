@@ -35,13 +35,23 @@ impl ColumnStore {
     /// Transposes a row-major matrix into per-item tid-sets (one pass over
     /// the set bits of the matrix).
     pub fn build(matrix: &BitMatrix) -> Self {
-        let rows = matrix.rows();
+        Self::build_range(matrix, 0..matrix.rows())
+    }
+
+    /// Transposes only the rows in `range` (tid-set bit `r` refers to row
+    /// `range.start + r` of the source matrix). This is the per-shard
+    /// build of [`crate::ShardedColumnStore`]: each shard transposes its
+    /// contiguous row slice independently, so shards can be built in
+    /// parallel and their popcounts summed (DESIGN.md §8).
+    pub fn build_range(matrix: &BitMatrix, range: std::ops::Range<usize>) -> Self {
+        assert!(range.start <= range.end && range.end <= matrix.rows(), "row range out of bounds");
+        let rows = range.len();
         let dims = matrix.cols();
         let words_per_col = bits::words_for(rows).max(1);
         let mut words = vec![0u64; dims * words_per_col];
-        for r in 0..rows {
+        for (local, r) in range.enumerate() {
             for c in bits::ones(matrix.row_words(r)) {
-                words[c * words_per_col + r / 64] |= 1u64 << (r % 64);
+                words[c * words_per_col + local / 64] |= 1u64 << (local % 64);
             }
         }
         Self { rows, dims, words_per_col, words }
@@ -137,6 +147,32 @@ impl ColumnStore {
         let n = self.rows as f64;
         let mut scratch = self.new_scratch();
         itemsets.iter().map(|t| self.support_with_scratch(t, &mut scratch) as f64 / n).collect()
+    }
+
+    /// [`Self::support_batch`] chunked across up to `threads` workers
+    /// (DESIGN.md §8). Row sharding is pointless for a store that fits one
+    /// shard, but query-log chunking still parallelizes; element `i` equals
+    /// `self.support(&itemsets[i])` regardless of `threads`.
+    pub fn support_batch_with_threads(&self, itemsets: &[Itemset], threads: usize) -> Vec<usize> {
+        let mut out = vec![0usize; itemsets.len()];
+        crate::sharded::chunked_query_batch(self, itemsets, threads, &mut out, |s, t, scratch| {
+            s.support_with_scratch(t, scratch)
+        });
+        out
+    }
+
+    /// [`Self::frequency_batch`] chunked across up to `threads` workers;
+    /// bit-identical at every thread count.
+    pub fn frequency_batch_with_threads(&self, itemsets: &[Itemset], threads: usize) -> Vec<f64> {
+        if self.rows == 0 {
+            return vec![0.0; itemsets.len()];
+        }
+        let n = self.rows as f64;
+        let mut out = vec![0.0f64; itemsets.len()];
+        crate::sharded::chunked_query_batch(self, itemsets, threads, &mut out, |s, t, scratch| {
+            s.support_with_scratch(t, scratch) as f64 / n
+        });
+        out
     }
 }
 
@@ -239,6 +275,33 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn out_of_range_item_panics() {
         ColumnStore::build(toy().matrix()).support(&Itemset::singleton(5));
+    }
+
+    #[test]
+    fn threaded_batches_match_serial_batches() {
+        let db = toy();
+        let store = ColumnStore::build(db.matrix());
+        let queries = vec![
+            Itemset::empty(),
+            Itemset::new(vec![0, 1]),
+            Itemset::new(vec![1, 2]),
+            Itemset::new(vec![0, 1, 2]),
+            Itemset::singleton(4),
+        ];
+        for threads in [0usize, 1, 2, 4, 16] {
+            assert_eq!(
+                store.support_batch_with_threads(&queries, threads),
+                store.support_batch(&queries),
+                "threads={threads}"
+            );
+            assert_eq!(
+                store.frequency_batch_with_threads(&queries, threads),
+                store.frequency_batch(&queries),
+                "threads={threads}"
+            );
+        }
+        let empty = ColumnStore::build(Database::zeros(0, 4).matrix());
+        assert_eq!(empty.frequency_batch_with_threads(&queries, 4), vec![0.0; queries.len()]);
     }
 
     #[test]

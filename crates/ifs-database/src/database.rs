@@ -1,6 +1,6 @@
 //! The `Database` type: rows, dimensions, and frequency queries.
 
-use crate::{BitMatrix, ColumnStore, Itemset};
+use crate::{BitMatrix, ColumnStore, Itemset, ShardedColumnStore};
 use std::sync::OnceLock;
 
 /// A binary database `D ∈ ({0,1}^d)^n` (§1.3 of the paper).
@@ -12,24 +12,33 @@ use std::sync::OnceLock;
 /// Two query layouts coexist (DESIGN.md §7): the row-major matrix answers
 /// one-shot queries without preprocessing, and a lazily built, cached
 /// [`ColumnStore`] ([`Database::columns`]) serves repeated or batched
-/// queries ([`Database::frequencies`]) at columnar speed. Identity (`Eq`,
-/// `Debug`, serialization) is defined by the matrix alone; the cache is a
-/// derived view and is invalidated by [`Database::matrix_mut`].
+/// queries ([`Database::frequencies`]) at columnar speed. A second cached
+/// view, the row-sharded [`ShardedColumnStore`]
+/// ([`Database::sharded_columns`]), serves the multi-threaded batch paths
+/// (DESIGN.md §8) with answers bit-identical to the serial store. Identity
+/// (`Eq`, `Debug`, serialization) is defined by the matrix alone; both
+/// caches are derived views and are invalidated by
+/// [`Database::matrix_mut`].
 pub struct Database {
     matrix: BitMatrix,
     columns: OnceLock<ColumnStore>,
+    sharded: OnceLock<ShardedColumnStore>,
 }
 
 impl Clone for Database {
     fn clone(&self) -> Self {
         let columns = OnceLock::new();
-        // Propagate an already-built columnar view: cloning is how sketches
+        let sharded = OnceLock::new();
+        // Propagate already-built columnar views: cloning is how sketches
         // capture a database, and their query side is exactly the workload
-        // the cache exists for.
+        // the caches exist for.
         if let Some(store) = self.columns.get() {
             let _ = columns.set(store.clone());
         }
-        Self { matrix: self.matrix.clone(), columns }
+        if let Some(store) = self.sharded.get() {
+            let _ = sharded.set(store.clone());
+        }
+        Self { matrix: self.matrix.clone(), columns, sharded }
     }
 }
 
@@ -50,7 +59,7 @@ impl std::fmt::Debug for Database {
 impl Database {
     /// Wraps an existing matrix (rows are database records).
     pub fn from_matrix(matrix: BitMatrix) -> Self {
-        Self { matrix, columns: OnceLock::new() }
+        Self { matrix, columns: OnceLock::new(), sharded: OnceLock::new() }
     }
 
     /// An all-zero database with `n` rows and `d` attributes.
@@ -93,10 +102,17 @@ impl Database {
 
     /// Mutable access to the underlying matrix.
     ///
-    /// Drops any cached columnar view: the caller may change cells, and the
-    /// next [`Database::columns`] call rebuilds the transpose from scratch.
+    /// Drops every cached columnar view (serial *and* sharded): the caller
+    /// may change cells, and the next [`Database::columns`] /
+    /// [`Database::sharded_columns`] call rebuilds the transpose from
+    /// scratch. This is the **only** mutation path — constructors and
+    /// derivations (`select_rows`, `stack`, serialization round-trips, the
+    /// generators) all produce fresh `Database` values with cold caches, so
+    /// a stale view cannot be served (regression-tested in
+    /// `caches_never_serve_stale_views`).
     pub fn matrix_mut(&mut self) -> &mut BitMatrix {
         self.columns.take();
+        self.sharded.take();
         &mut self.matrix
     }
 
@@ -110,6 +126,19 @@ impl Database {
     /// True iff the columnar view has already been materialized.
     pub fn has_column_cache(&self) -> bool {
         self.columns.get().is_some()
+    }
+
+    /// The sharded columnar view, built on first use (with up to `threads`
+    /// build workers) and cached. Shard layout depends only on the data, so
+    /// the cached store is identical whatever `threads` the first caller
+    /// passed; later callers may query it with any thread count.
+    pub fn sharded_columns(&self, threads: usize) -> &ShardedColumnStore {
+        self.sharded.get_or_init(|| ShardedColumnStore::build(&self.matrix, threads))
+    }
+
+    /// True iff the sharded columnar view has already been materialized.
+    pub fn has_sharded_cache(&self) -> bool {
+        self.sharded.get().is_some()
     }
 
     /// Cell accessor `D(i, j)`.
@@ -156,6 +185,44 @@ impl Database {
             return vec![0.0; itemsets.len()];
         }
         self.columns().frequency_batch(itemsets)
+    }
+
+    /// Supports of a whole query log computed by up to `threads` workers
+    /// (DESIGN.md §8).
+    ///
+    /// `threads <= 1` runs the serial path on [`Database::columns`]. A
+    /// database that fits in a single shard (`n <=`
+    /// [`SHARD_ROWS`](crate::SHARD_ROWS)) chunks the query log over the
+    /// serial store — a one-shard [`ShardedColumnStore`] would be a
+    /// byte-identical duplicate of the transpose, and query-log chunking is
+    /// where the parallelism is. Larger databases answer on the sharded
+    /// view. Either way element `i` equals [`Database::support`] of
+    /// `itemsets[i]` — every path counts the same rows.
+    pub fn support_batch_with_threads(&self, itemsets: &[Itemset], threads: usize) -> Vec<usize> {
+        if threads <= 1 {
+            return self.support_batch(itemsets);
+        }
+        if self.rows() <= crate::SHARD_ROWS {
+            return self.columns().support_batch_with_threads(itemsets, threads);
+        }
+        self.sharded_columns(threads).support_batch(itemsets, threads)
+    }
+
+    /// Frequencies of a whole query log computed by up to `threads` workers
+    /// (DESIGN.md §8); bit-identical to [`Database::frequencies`] at every
+    /// thread count. Single-shard databases reuse the serial store (see
+    /// [`Database::support_batch_with_threads`]).
+    pub fn frequencies_with_threads(&self, itemsets: &[Itemset], threads: usize) -> Vec<f64> {
+        if threads <= 1 {
+            return self.frequencies(itemsets);
+        }
+        if self.rows() == 0 {
+            return vec![0.0; itemsets.len()];
+        }
+        if self.rows() <= crate::SHARD_ROWS {
+            return self.columns().frequency_batch_with_threads(itemsets, threads);
+        }
+        self.sharded_columns(threads).frequency_batch(itemsets, threads)
     }
 
     /// Pre-resolves an itemset into a packed mask for repeated row tests.
@@ -354,6 +421,81 @@ mod tests {
     fn frequencies_on_empty_database_are_zero() {
         let db = Database::zeros(0, 8);
         assert_eq!(db.frequencies(&[Itemset::empty(), Itemset::singleton(2)]), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn threaded_batches_match_serial() {
+        let db = toy();
+        let queries = vec![
+            Itemset::empty(),
+            Itemset::new(vec![0, 1]),
+            Itemset::singleton(1),
+            Itemset::new(vec![1, 2, 3]),
+        ];
+        for threads in [0usize, 1, 2, 4, 8] {
+            assert_eq!(
+                db.support_batch_with_threads(&queries, threads),
+                db.support_batch(&queries)
+            );
+            assert_eq!(db.frequencies_with_threads(&queries, threads), db.frequencies(&queries));
+        }
+    }
+
+    /// The cache-invalidation audit (every path that could serve a stale
+    /// columnar view): mutation drops BOTH caches; serialization
+    /// round-trips, row selection, and generator outputs produce fresh
+    /// databases whose views are rebuilt from their own matrices.
+    #[test]
+    fn caches_never_serve_stale_views() {
+        let mut db = toy();
+        let t = Itemset::singleton(4);
+        // Warm both views, then mutate: both must be invalidated.
+        assert_eq!(db.columns().support(&t), 1);
+        assert_eq!(db.sharded_columns(2).support(&t), 1);
+        db.matrix_mut().set(0, 4, true);
+        assert!(!db.has_column_cache(), "mutation must drop the serial view");
+        assert!(!db.has_sharded_cache(), "mutation must drop the sharded view");
+        assert_eq!(db.columns().support(&t), 2);
+        assert_eq!(db.sharded_columns(2).support(&t), 2);
+        assert_eq!(db.support_batch_with_threads(std::slice::from_ref(&t), 4), vec![2]);
+
+        // Serialize round-trip of a warm database: the decoded copy answers
+        // from its own (fresh) views, and re-warming gives current answers.
+        let bytes = crate::serialize::to_bytes(&db);
+        let back = crate::serialize::from_bytes(&bytes).expect("roundtrip");
+        assert!(!back.has_column_cache() && !back.has_sharded_cache());
+        assert_eq!(back.columns().support(&t), 2);
+        assert_eq!(back.sharded_columns(1).support(&t), 2);
+
+        // select_rows from a warm database: the selection is a fresh
+        // database over different rows; its views must reflect those rows.
+        let sel = db.select_rows(&[0, 0, 3]);
+        assert!(!sel.has_column_cache() && !sel.has_sharded_cache());
+        assert_eq!(sel.columns().support(&t), 3); // rows 0,0,3 all contain item 4 now
+        assert_eq!(sel.frequencies_with_threads(std::slice::from_ref(&t), 2), vec![1.0]);
+
+        // A clone taken warm, then mutated, must diverge from its source
+        // without corrupting it.
+        let mut fork = db.clone();
+        assert!(fork.has_column_cache() && fork.has_sharded_cache());
+        fork.matrix_mut().set(1, 4, true);
+        assert_eq!(fork.columns().support(&t), 3);
+        assert_eq!(db.columns().support(&t), 2, "source database must be untouched");
+
+        // Generator outputs mutate through matrix_mut internally; their
+        // views must match a cold rebuild of the same matrix.
+        let mut rng = ifs_util::Rng64::seeded(0xCAFE);
+        let gen = crate::generators::planted(
+            64,
+            8,
+            0.2,
+            &[crate::generators::Plant { itemset: Itemset::new(vec![1, 2]), frequency: 0.5 }],
+            &mut rng,
+        );
+        let fresh = Database::from_matrix(gen.matrix().clone());
+        let probe = Itemset::new(vec![1, 2]);
+        assert_eq!(gen.columns().support(&probe), fresh.columns().support(&probe));
+        assert_eq!(gen.sharded_columns(2).support(&probe), fresh.support(&probe));
     }
 
     #[test]

@@ -1,0 +1,270 @@
+//! Sharded, multi-threaded columnar query execution (DESIGN.md §8).
+//!
+//! [`crate::ColumnStore`] answers a `k`-itemset query with `O(k·n/64)` word
+//! operations on one core. This module partitions the rows into contiguous,
+//! word-aligned shards and keeps one `ColumnStore` per shard: the support of
+//! an itemset is then the **sum of per-shard popcounts**, which is the same
+//! integer the serial store computes (popcount is associative over disjoint
+//! row ranges), so sharded answers are bit-identical to serial answers by
+//! construction — at every thread count.
+//!
+//! Two axes parallelize:
+//!
+//! * **Build**: each shard transposes its row slice independently
+//!   ([`crate::ColumnStore::build_range`]); worker threads drain a shard
+//!   work queue under [`std::thread::scope`] (no thread pool, no external
+//!   dependencies).
+//! * **Query batches**: a query log is split into contiguous chunks, one
+//!   worker per chunk, each with its own scratch buffer, writing into
+//!   disjoint slices of the output vector. Per-query answers never depend
+//!   on which worker computed them.
+//!
+//! The shard **layout is a function of the data only** (row count), never of
+//! the thread count: `threads` decides how many workers drain the queues,
+//! not where shard boundaries fall. That makes the determinism contract
+//! trivial to audit — the words in memory are identical whether the store
+//! was built or queried with 1 thread or 8.
+
+use crate::{BitMatrix, ColumnStore, Itemset};
+use ifs_util::threads::{clamp_threads, parallel_map_indexed};
+
+/// Rows per shard: word-aligned (multiple of 64) so no shard splits a tid
+/// word, and large enough that per-shard bookkeeping is noise next to the
+/// AND+popcount work. 16384 rows × 128 items ≈ 256 KiB of tid words per
+/// shard — it fits in L2 while giving a 100k-row database 7 shards to
+/// spread over cores.
+pub const SHARD_ROWS: usize = 16_384;
+
+/// Per-item tid-sets partitioned into contiguous word-aligned row shards.
+///
+/// Equivalent to a [`ColumnStore`] over the same matrix — same supports,
+/// same frequencies, bit for bit — but buildable and queryable by multiple
+/// threads. See the module docs for the determinism argument.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ShardedColumnStore {
+    rows: usize,
+    dims: usize,
+    shard_rows: usize,
+    shards: Vec<ColumnStore>,
+}
+
+impl ShardedColumnStore {
+    /// Builds the sharded view with the default shard size, using up to
+    /// `threads` workers (1 = serial; the shard layout is identical either
+    /// way).
+    pub fn build(matrix: &BitMatrix, threads: usize) -> Self {
+        Self::build_with_shard_rows(matrix, SHARD_ROWS, threads)
+    }
+
+    /// Builds with an explicit shard size (tests use adversarial sizes to
+    /// hit tail words). `shard_rows` must be a positive multiple of 64 so
+    /// shard boundaries never split a tid word.
+    pub fn build_with_shard_rows(matrix: &BitMatrix, shard_rows: usize, threads: usize) -> Self {
+        assert!(
+            shard_rows > 0 && shard_rows.is_multiple_of(64),
+            "shard_rows must be a positive multiple of 64, got {shard_rows}"
+        );
+        let rows = matrix.rows();
+        let dims = matrix.cols();
+        let n_shards = rows.div_ceil(shard_rows);
+        // Shard work queue: workers race for shard indices but every result
+        // lands in the slot of its index, so the assembled vector is
+        // independent of scheduling (and of `threads`).
+        let shards = parallel_map_indexed(n_shards, threads, |i| {
+            ColumnStore::build_range(matrix, (i * shard_rows)..((i + 1) * shard_rows).min(rows))
+        });
+        Self { rows, dims, shard_rows, shards }
+    }
+
+    /// Number of rows `n` of the source matrix.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of items (columns) `d` of the source matrix.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Number of row shards (0 for an empty matrix).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Rows per shard (the last shard may be shorter).
+    pub fn shard_rows(&self) -> usize {
+        self.shard_rows
+    }
+
+    /// Support of `itemset` using caller-owned scratch: the sum of
+    /// per-shard popcounts — the same integer [`ColumnStore::support`]
+    /// computes over the unpartitioned rows.
+    pub fn support_with_scratch(&self, itemset: &Itemset, scratch: &mut Vec<u64>) -> usize {
+        self.shards.iter().map(|s| s.support_with_scratch(itemset, scratch)).sum()
+    }
+
+    /// Support of `itemset` (single-query convenience).
+    pub fn support(&self, itemset: &Itemset) -> usize {
+        self.support_with_scratch(itemset, &mut Vec::new())
+    }
+
+    /// Frequency `f_T` ∈ [0, 1]; 0 for an empty store, matching
+    /// [`ColumnStore::frequency`] bit for bit (same integer support, same
+    /// division).
+    pub fn frequency(&self, itemset: &Itemset) -> f64 {
+        if self.rows == 0 {
+            return 0.0;
+        }
+        self.support(itemset) as f64 / self.rows as f64
+    }
+
+    /// Supports of a whole query log, computed by up to `threads` workers
+    /// over contiguous chunks of the log. Element `i` equals
+    /// `self.support(&itemsets[i])` regardless of `threads`.
+    pub fn support_batch(&self, itemsets: &[Itemset], threads: usize) -> Vec<usize> {
+        let mut out = vec![0usize; itemsets.len()];
+        chunked_query_batch(self, itemsets, threads, &mut out, |store, t, scratch| {
+            store.support_with_scratch(t, scratch)
+        });
+        out
+    }
+
+    /// Frequencies of a whole query log; element `i` equals
+    /// `self.frequency(&itemsets[i])` regardless of `threads`.
+    pub fn frequency_batch(&self, itemsets: &[Itemset], threads: usize) -> Vec<f64> {
+        if self.rows == 0 {
+            return vec![0.0; itemsets.len()];
+        }
+        let n = self.rows as f64;
+        let mut out = vec![0.0f64; itemsets.len()];
+        chunked_query_batch(self, itemsets, threads, &mut out, |store, t, scratch| {
+            store.support_with_scratch(t, scratch) as f64 / n
+        });
+        out
+    }
+}
+
+/// Chunked-batch driver shared by [`ShardedColumnStore`] and the threaded
+/// [`ColumnStore`] batch methods: splits `itemsets` and `out` into the same
+/// contiguous chunks and runs `kernel` per query, one worker per chunk,
+/// each with a private scratch buffer writing a disjoint output slice —
+/// per-query answers never depend on which worker computed them.
+pub(crate) fn chunked_query_batch<S: Sync + ?Sized, R: Send>(
+    store: &S,
+    itemsets: &[Itemset],
+    threads: usize,
+    out: &mut [R],
+    kernel: impl Fn(&S, &Itemset, &mut Vec<u64>) -> R + Sync,
+) {
+    let threads = clamp_threads(threads).min(itemsets.len().max(1));
+    if threads == 1 {
+        let mut scratch = Vec::new();
+        for (o, t) in out.iter_mut().zip(itemsets) {
+            *o = kernel(store, t, &mut scratch);
+        }
+        return;
+    }
+    let chunk = itemsets.len().div_ceil(threads);
+    std::thread::scope(|s| {
+        for (qs, os) in itemsets.chunks(chunk).zip(out.chunks_mut(chunk)) {
+            let kernel = &kernel;
+            s.spawn(move || {
+                let mut scratch = Vec::new();
+                for (o, t) in os.iter_mut().zip(qs) {
+                    *o = kernel(store, t, &mut scratch);
+                }
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Database;
+    use ifs_util::Rng64;
+
+    fn random_db(n: usize, d: usize, p: f64, seed: u64) -> Database {
+        let mut rng = Rng64::seeded(seed);
+        Database::from_fn(n, d, |_, _| rng.bernoulli(p))
+    }
+
+    fn random_queries(d: usize, count: usize, seed: u64) -> Vec<Itemset> {
+        let mut rng = Rng64::seeded(seed);
+        (0..count)
+            .map(|_| {
+                let k = rng.below(5).min(d);
+                (0..k).map(|_| rng.below(d.max(1)) as u32).collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_serial_store_across_shard_sizes_and_threads() {
+        let db = random_db(300, 40, 0.35, 0x51AD);
+        let serial = ColumnStore::build(db.matrix());
+        let queries = random_queries(40, 30, 0x51AE);
+        for shard_rows in [64, 128, 256, 512] {
+            for threads in [1, 2, 4, 8] {
+                let sharded =
+                    ShardedColumnStore::build_with_shard_rows(db.matrix(), shard_rows, threads);
+                assert_eq!(sharded.rows(), 300);
+                assert_eq!(sharded.shard_count(), 300usize.div_ceil(shard_rows));
+                let sup = sharded.support_batch(&queries, threads);
+                let freq = sharded.frequency_batch(&queries, threads);
+                for (i, t) in queries.iter().enumerate() {
+                    assert_eq!(sup[i], serial.support(t), "support {t} sr={shard_rows}");
+                    assert_eq!(freq[i], serial.frequency(t), "frequency {t} sr={shard_rows}");
+                    assert_eq!(sharded.support(t), sup[i], "scalar/batch {t}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_matrix_has_no_shards() {
+        let store = ShardedColumnStore::build(Database::zeros(0, 8).matrix(), 4);
+        assert_eq!(store.shard_count(), 0);
+        assert_eq!(store.support(&Itemset::empty()), 0);
+        assert_eq!(store.frequency(&Itemset::singleton(3)), 0.0);
+        assert_eq!(store.frequency_batch(&[Itemset::empty()], 4), vec![0.0]);
+        assert_eq!(store.support_batch(&[], 4), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn single_row_and_tail_word_boundaries() {
+        // Row counts straddling word and shard boundaries; shard size 64
+        // forces every boundary to be exercised.
+        for n in [1usize, 63, 64, 65, 127, 128, 129, 200] {
+            let db = random_db(n, 10, 0.5, 0xB0 + n as u64);
+            let serial = ColumnStore::build(db.matrix());
+            let sharded = ShardedColumnStore::build_with_shard_rows(db.matrix(), 64, 3);
+            for t in random_queries(10, 15, 0xC0 + n as u64) {
+                assert_eq!(sharded.support(&t), serial.support(&t), "n={n} itemset {t}");
+                assert_eq!(sharded.frequency(&t), serial.frequency(&t), "n={n} itemset {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn build_threads_do_not_change_layout() {
+        let db = random_db(500, 24, 0.3, 0x1DEA);
+        let a = ShardedColumnStore::build_with_shard_rows(db.matrix(), 128, 1);
+        let b = ShardedColumnStore::build_with_shard_rows(db.matrix(), 128, 8);
+        assert_eq!(a, b, "shard contents must be independent of build thread count");
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 64")]
+    fn rejects_unaligned_shard_size() {
+        ShardedColumnStore::build_with_shard_rows(Database::zeros(10, 4).matrix(), 100, 1);
+    }
+
+    #[test]
+    fn more_threads_than_queries_is_fine() {
+        let db = random_db(80, 8, 0.4, 0xFEED);
+        let sharded = ShardedColumnStore::build(db.matrix(), 8);
+        let q = vec![Itemset::singleton(2)];
+        assert_eq!(sharded.support_batch(&q, 64), vec![db.support(&q[0])]);
+    }
+}

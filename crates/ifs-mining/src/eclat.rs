@@ -11,14 +11,35 @@
 use crate::MinedItemset;
 use ifs_database::{Database, Itemset};
 use ifs_util::bits;
+use ifs_util::threads::{clamp_threads, parallel_map_indexed};
 
 /// Mines all itemsets with frequency ≥ `min_frequency`, depth-first.
 pub fn mine(db: &Database, min_frequency: f64, max_len: usize) -> Vec<MinedItemset> {
+    mine_with_threads(db, min_frequency, max_len, 1)
+}
+
+/// [`mine`] with a thread-count knob (DESIGN.md §8).
+///
+/// Each frequent single item roots an independent DFS subtree (its
+/// extensions only look rightward in the item order), so the top-level
+/// prefixes form a natural work queue: up to `threads` workers pull prefix
+/// indices and mine their subtrees with the serial `extend` into per-slot
+/// buffers, which are then concatenated **in prefix order**. Because every
+/// subtree's internal order is the serial DFS order and the concatenation
+/// order is the serial prefix order, the result vector is identical — same
+/// itemsets, same `f64` frequency bits, same positions — to [`mine`] at
+/// every thread count (enforced by `tests/sharded_queries.rs`).
+pub fn mine_with_threads(
+    db: &Database,
+    min_frequency: f64,
+    max_len: usize,
+    threads: usize,
+) -> Vec<MinedItemset> {
     assert!((0.0..=1.0).contains(&min_frequency), "min_frequency must be in [0,1]");
-    let mut results = Vec::new();
+    let threads = clamp_threads(threads);
     let n = db.rows();
     if n == 0 || max_len == 0 {
-        return results;
+        return Vec::new();
     }
     let min_support = (min_frequency * n as f64).ceil().max(1.0) as usize;
     // Vertical representation: the database's cached per-item tid-sets.
@@ -30,14 +51,34 @@ pub fn mine(db: &Database, min_frequency: f64, max_len: usize) -> Vec<MinedItems
             (support >= min_support).then_some((c as u32, tids, support))
         })
         .collect();
-    // DFS stack holds (prefix itemset, prefix tidset, start index in items).
-    for (idx, &(item, tids, support)) in frequent_items.iter().enumerate() {
-        let prefix = Itemset::singleton(item);
-        results
-            .push(MinedItemset { itemset: prefix.clone(), frequency: support as f64 / n as f64 });
-        extend(&prefix, tids, &frequent_items, idx + 1, min_support, n, max_len, &mut results);
+    if threads == 1 || frequent_items.len() <= 1 {
+        let mut results = Vec::new();
+        // DFS stack holds (prefix itemset, prefix tidset, start index).
+        for (idx, &(item, tids, support)) in frequent_items.iter().enumerate() {
+            let prefix = Itemset::singleton(item);
+            results.push(MinedItemset {
+                itemset: prefix.clone(),
+                frequency: support as f64 / n as f64,
+            });
+            extend(&prefix, tids, &frequent_items, idx + 1, min_support, n, max_len, &mut results);
+        }
+        return results;
     }
-    results
+    // Per-prefix work queue ([`parallel_map_indexed`]): workers race for
+    // indices, but each subtree's results land in the slot of its prefix,
+    // so the flattening below is independent of scheduling.
+    let items = &frequent_items;
+    parallel_map_indexed(items.len(), threads, |idx| {
+        let (item, tids, support) = items[idx];
+        let prefix = Itemset::singleton(item);
+        let mut local =
+            vec![MinedItemset { itemset: prefix.clone(), frequency: support as f64 / n as f64 }];
+        extend(&prefix, tids, items, idx + 1, min_support, n, max_len, &mut local);
+        local
+    })
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -115,5 +156,21 @@ mod tests {
     fn empty_results_below_any_support() {
         let db = Database::zeros(10, 5);
         assert!(mine(&db, 0.1, usize::MAX).is_empty());
+    }
+
+    #[test]
+    fn threaded_mining_is_bit_identical_in_order() {
+        let mut rng = Rng64::seeded(73);
+        for trial in 0..3 {
+            let db = generators::uniform(150, 14, 0.35, &mut rng);
+            let thresh = 0.08 + 0.04 * trial as f64;
+            let serial = mine(&db, thresh, usize::MAX);
+            for threads in [2, 4, 8] {
+                let par = mine_with_threads(&db, thresh, usize::MAX, threads);
+                // Same itemsets, same frequency bits, same ORDER — the
+                // unsorted vectors must be equal element for element.
+                assert_eq!(par, serial, "threads={threads} trial={trial}");
+            }
+        }
     }
 }

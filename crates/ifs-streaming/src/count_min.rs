@@ -9,7 +9,8 @@
 //! the streaming experiment.
 
 use crate::StreamCounter;
-use std::hash::{DefaultHasher, Hash, Hasher};
+use ifs_util::StableHasher;
+use std::hash::{Hash, Hasher};
 
 /// Count-Min sketch over any hashable item type.
 #[derive(Clone, Debug)]
@@ -49,9 +50,12 @@ impl<T: Hash> CountMinSketch<T> {
         Self::new(width, depth, conservative, seed)
     }
 
+    /// Row-`row` bucket of `item`, via the in-tree seeded mixer
+    /// ([`StableHasher`]): `DefaultHasher` is SipHash with no cross-release
+    /// stability guarantee, which would silently relocate every counter on a
+    /// toolchain upgrade. Golden values are pinned in `stable_hashing_golden`.
     fn bucket(&self, row: usize, item: &T) -> usize {
-        let mut h = DefaultHasher::new();
-        self.seeds[row].hash(&mut h);
+        let mut h = StableHasher::seeded(self.seeds[row]);
         item.hash(&mut h);
         row * self.width + (h.finish() as usize % self.width)
     }
@@ -161,5 +165,28 @@ mod tests {
     fn size_accounting() {
         let cm = CountMinSketch::<u32>::new(100, 5, false, 1);
         assert_eq!(cm.size_bits(), 100 * 5 * 64);
+    }
+
+    /// Golden regression: bucket placement must be identical on every
+    /// platform and Rust release. These values were recorded once from the
+    /// in-tree [`StableHasher`]; a change here means sketch contents (and
+    /// every EXPERIMENTS.md number involving Count-Min) silently moved.
+    #[test]
+    fn stable_hashing_golden() {
+        let cm = CountMinSketch::<u32>::new(32, 4, false, 42);
+        let buckets: Vec<usize> = (0..4).map(|r| cm.bucket(r, &7u32)).collect();
+        assert_eq!(buckets, vec![24, 33, 73, 102]);
+        let buckets: Vec<usize> = (0..4).map(|r| cm.bucket(r, &1234u32)).collect();
+        assert_eq!(buckets, vec![25, 51, 84, 127]);
+
+        // A short deterministic stream pins the full counter array shape:
+        // estimates must come out exactly as recorded.
+        let mut cm = CountMinSketch::<u64>::new(16, 3, false, 7);
+        for x in 0..100u64 {
+            cm.update(x % 10);
+        }
+        let est: Vec<u64> = (0..10u64).map(|x| cm.estimate(&x)).collect();
+        assert_eq!(est, vec![10, 10, 10, 10, 10, 10, 10, 20, 10, 10]);
+        assert_eq!(cm.stream_len(), 100);
     }
 }

@@ -7,7 +7,8 @@
 //! to Count-Min's L1 guarantee.
 
 use crate::StreamCounter;
-use std::hash::{DefaultHasher, Hash, Hasher};
+use ifs_util::StableHasher;
+use std::hash::{Hash, Hasher};
 
 /// Count-Sketch over any hashable item type.
 #[derive(Clone, Debug)]
@@ -37,9 +38,11 @@ impl<T: Hash> CountSketch<T> {
         }
     }
 
+    /// Row-`row` bucket and sign of `item`, via the in-tree seeded mixer
+    /// ([`StableHasher`]) rather than the release-unstable `DefaultHasher`;
+    /// golden values are pinned in `stable_hashing_golden`.
     fn bucket_sign(&self, row: usize, item: &T) -> (usize, i64) {
-        let mut h = DefaultHasher::new();
-        self.seeds[row].hash(&mut h);
+        let mut h = StableHasher::seeded(self.seeds[row]);
         item.hash(&mut h);
         let hv = h.finish();
         let bucket = (hv >> 1) as usize % self.width;
@@ -149,5 +152,21 @@ mod tests {
             cs.update("x");
         }
         assert_eq!(cs.estimate(&"x"), 50);
+    }
+
+    /// Golden regression: bucket/sign placement under the in-tree
+    /// [`StableHasher`] must never move (see `count_min::stable_hashing_golden`).
+    #[test]
+    fn stable_hashing_golden() {
+        let cs = CountSketch::<u32>::new(32, 4, 42);
+        let placements: Vec<(usize, i64)> = (0..4).map(|r| cs.bucket_sign(r, &7u32)).collect();
+        assert_eq!(placements, vec![(12, -1), (59, -1), (80, 1), (127, 1)]);
+
+        let mut cs = CountSketch::<u64>::new(16, 3, 7);
+        for x in 0..100u64 {
+            cs.update(x % 10);
+        }
+        let est: Vec<i64> = (0..10u64).map(|x| cs.signed_estimate(&x)).collect();
+        assert_eq!(est, vec![0, 10, 10, 0, 10, 10, 0, 10, 0, 10]);
     }
 }

@@ -1,0 +1,208 @@
+//! Seeded, release-stable hashing for the streaming sketches.
+//!
+//! `std::hash::DefaultHasher` is SipHash with an explicitly *unstable*
+//! algorithm: the standard library documents that it may change between
+//! Rust releases. A Count-Min or Count-Sketch summary hashed through it
+//! would place items in different buckets after a toolchain upgrade, so
+//! sketch contents — and every golden value recorded in EXPERIMENTS.md —
+//! would silently change. This module provides [`StableHasher`], an
+//! in-tree seeded mixer built from the same splitmix64 constants as
+//! [`crate::Rng64`]'s seeding path (Blackman & Vigna), whose output is
+//! pinned by golden-value tests exactly like the generator's stream
+//! (DESIGN.md §3).
+//!
+//! The hasher folds input 64 bits at a time through a splitmix64 step and
+//! finalizes with one more step over the accumulated length, so streams
+//! that differ only in chunking or in trailing zero bytes still hash
+//! differently. Every fixed-width `write_*` method is overridden to feed
+//! little-endian bytes (and `usize` is widened to `u64`), so the digest is
+//! identical across platforms, word sizes, and endiannesses.
+
+use std::hash::Hasher;
+
+/// One splitmix64 step (Blackman & Vigna): advance by the golden-ratio
+/// increment, then scramble. This is the single in-tree copy of the mixer;
+/// [`crate::Rng64::seeded`] expands seeds through it and [`StableHasher`]
+/// folds input through it, so the golden-value tests of both pin the same
+/// constants.
+#[inline]
+pub(crate) fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A seeded 64-bit hasher with a toolchain-independent digest.
+///
+/// Implements [`std::hash::Hasher`], so any `T: Hash` can be hashed; the
+/// streaming sketches derive one seed per row and hash items through this
+/// instead of `DefaultHasher`.
+#[derive(Clone, Debug)]
+pub struct StableHasher {
+    state: u64,
+    len: u64,
+}
+
+impl StableHasher {
+    /// Creates a hasher whose digest stream is keyed by `seed`.
+    pub fn seeded(seed: u64) -> Self {
+        Self { state: splitmix64(seed), len: 0 }
+    }
+
+    #[inline]
+    fn fold(&mut self, word: u64) {
+        self.state = splitmix64(self.state ^ word);
+    }
+}
+
+impl Hasher for StableHasher {
+    fn finish(&self) -> u64 {
+        // Mix the total byte count so inputs that are prefixes of each
+        // other (or differ only in zero padding) diverge.
+        splitmix64(self.state ^ self.len)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        self.len = self.len.wrapping_add(bytes.len() as u64);
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.fold(u64::from_le_bytes(chunk.try_into().expect("chunked 8 bytes")));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rem.len()].copy_from_slice(rem);
+            self.fold(u64::from_le_bytes(tail));
+        }
+    }
+
+    // Fixed-width writes feed little-endian bytes explicitly: the default
+    // implementations use native endianness, which would make digests
+    // differ between little- and big-endian platforms.
+    fn write_u8(&mut self, i: u8) {
+        self.write(&[i]);
+    }
+
+    fn write_u16(&mut self, i: u16) {
+        self.write(&i.to_le_bytes());
+    }
+
+    fn write_u32(&mut self, i: u32) {
+        self.write(&i.to_le_bytes());
+    }
+
+    fn write_u64(&mut self, i: u64) {
+        self.write(&i.to_le_bytes());
+    }
+
+    fn write_u128(&mut self, i: u128) {
+        self.write(&i.to_le_bytes());
+    }
+
+    fn write_usize(&mut self, i: usize) {
+        // Widen to u64 so 32- and 64-bit targets agree.
+        self.write_u64(i as u64);
+    }
+
+    fn write_i8(&mut self, i: i8) {
+        self.write_u8(i as u8);
+    }
+
+    fn write_i16(&mut self, i: i16) {
+        self.write_u16(i as u16);
+    }
+
+    fn write_i32(&mut self, i: i32) {
+        self.write_u32(i as u32);
+    }
+
+    fn write_i64(&mut self, i: i64) {
+        self.write_u64(i as u64);
+    }
+
+    fn write_i128(&mut self, i: i128) {
+        self.write_u128(i as u128);
+    }
+
+    fn write_isize(&mut self, i: isize) {
+        self.write_u64(i as u64);
+    }
+}
+
+/// Convenience: the stable digest of one `Hash` value under `seed`.
+pub fn stable_hash<T: std::hash::Hash + ?Sized>(seed: u64, value: &T) -> u64 {
+    let mut h = StableHasher::seeded(seed);
+    value.hash(&mut h);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Golden values pin the digest across platforms and toolchains — the
+    /// whole reason this hasher exists. If these change, every streaming
+    /// sketch's bucket layout changes with them.
+    #[test]
+    fn golden_digests() {
+        assert_eq!(stable_hash(0, &0u64), 0xBD44_9C3F_7EB5_0D12);
+        assert_eq!(stable_hash(0, &1u64), 0x00EF_FADF_18A7_1004);
+        assert_eq!(stable_hash(42, &0xDEAD_BEEFu32), 0xE60D_72F4_A5A3_AFC7);
+        assert_eq!(stable_hash(7, &"itemset"), 0x0724_CD05_A954_BA89);
+        assert_eq!(stable_hash(7, &[1u32, 2, 3][..]), 0x4100_2352_BE7F_0B7D);
+    }
+
+    #[test]
+    fn seed_changes_digest() {
+        let a = stable_hash(1, &123u64);
+        let b = stable_hash(2, &123u64);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn length_breaks_zero_padding_collisions() {
+        // One zero byte vs two zero bytes vs a zero u64: all distinct.
+        let mut h1 = StableHasher::seeded(9);
+        h1.write(&[0u8]);
+        let mut h2 = StableHasher::seeded(9);
+        h2.write(&[0u8, 0u8]);
+        let mut h3 = StableHasher::seeded(9);
+        h3.write_u64(0);
+        assert_ne!(h1.finish(), h2.finish());
+        assert_ne!(h2.finish(), h3.finish());
+        assert_ne!(h1.finish(), h3.finish());
+    }
+
+    #[test]
+    fn chunking_does_not_matter_within_a_write_width() {
+        // The same logical u64 fed as one write_u64 or as its le bytes.
+        let mut a = StableHasher::seeded(3);
+        a.write_u64(0x0102_0304_0506_0708);
+        let mut b = StableHasher::seeded(3);
+        b.write(&0x0102_0304_0506_0708u64.to_le_bytes());
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn usize_matches_u64() {
+        let mut a = StableHasher::seeded(5);
+        a.write_usize(12345);
+        let mut b = StableHasher::seeded(5);
+        b.write_u64(12345);
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn digests_are_well_distributed() {
+        // Cheap avalanche check: bucket 4096 consecutive keys into 64
+        // buckets; no bucket should be empty or grossly overloaded.
+        let mut counts = [0usize; 64];
+        for i in 0..4096u64 {
+            counts[(stable_hash(11, &i) % 64) as usize] += 1;
+        }
+        for (b, &c) in counts.iter().enumerate() {
+            assert!(c > 32 && c < 128, "bucket {b} has {c} of 4096 keys");
+        }
+    }
+}

@@ -11,6 +11,14 @@
 //!   `RELEASE-ANSWERS` sketch (which stores one slot per `k`-itemset) and the
 //!   shattered-set constructions.
 //! * [`bits`] — bit-level helpers used by the packed database representation.
+//! * [`hash`] — a seeded, toolchain-independent hasher ([`hash::StableHasher`])
+//!   for the streaming sketches, golden-value pinned like the generator
+//!   (DESIGN.md §3); `std::hash::DefaultHasher` explicitly reserves the right
+//!   to change between Rust releases, which would silently relocate every
+//!   Count-Min/Count-Sketch bucket.
+//! * [`threads`] — the thread-count knob shared by the parallel execution
+//!   layer (DESIGN.md §8): clamping and the `IFS_THREADS` environment
+//!   override used by CI's determinism matrix.
 //! * [`tail`] — the Chernoff bounds of Lemmas 10 and 11 of the paper, exact
 //!   binomial tails for small sample counts, and the sample-size calculators
 //!   behind the `SUBSAMPLE` sketch (Lemma 9).
@@ -24,9 +32,12 @@
 
 pub mod bits;
 pub mod combin;
+pub mod hash;
 pub mod rng;
 pub mod stats;
 pub mod table;
 pub mod tail;
+pub mod threads;
 
+pub use hash::StableHasher;
 pub use rng::Rng64;

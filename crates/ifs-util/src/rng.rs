@@ -20,15 +20,14 @@ pub struct Rng64 {
 impl Rng64 {
     /// Creates a generator from a 64-bit seed.
     pub fn seeded(seed: u64) -> Self {
-        // Expand the seed with splitmix64, as the xoshiro authors recommend,
-        // so that nearby seeds give unrelated streams.
+        // Expand the seed with splitmix64 (the crate's one shared copy, in
+        // `hash`), as the xoshiro authors recommend, so that nearby seeds
+        // give unrelated streams.
         let mut sm = seed;
         let mut next = || {
+            let out = crate::hash::splitmix64(sm);
             sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
-            let mut z = sm;
-            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-            z ^ (z >> 31)
+            out
         };
         Self { state: [next(), next(), next(), next()] }
     }

@@ -7,6 +7,10 @@
 //! module exposes both directions — failure probability for a given `s`, and
 //! the minimal `s` for a target failure probability — plus exact binomial
 //! tails used by tests to check the bounds are actually *bounds*.
+//!
+//! Every sample-size calculator is clamped to at least 1: a sketch of zero
+//! rows answers no query (and historically let `Subsample` build an empty
+//! sample), so no `(ε, δ, d, k)` combination may round down to `s = 0`.
 
 use crate::combin::ln_gamma;
 
@@ -26,14 +30,14 @@ pub fn hoeffding_additive_bound(s: u64, eps: f64) -> f64 {
 /// `f_T < ε/2` with failure probability ≤ δ.
 pub fn samples_foreach_indicator(eps: f64, delta: f64) -> u64 {
     assert!(eps > 0.0 && delta > 0.0 && delta < 1.0);
-    (16.0 * (2.0 / delta).ln() / eps).ceil() as u64
+    ((16.0 * (2.0 / delta).ln() / eps).ceil() as u64).max(1)
 }
 
 /// Sample count for the **For-Each-Estimator** guarantee (Lemma 9, second
 /// clause): `s ≥ ε⁻²·ln(2/δ)` gives additive error ≤ ε w.p. ≥ 1−δ.
 pub fn samples_foreach_estimator(eps: f64, delta: f64) -> u64 {
     assert!(eps > 0.0 && delta > 0.0 && delta < 1.0);
-    ((2.0 / delta).ln() / (eps * eps)).ceil() as u64
+    (((2.0 / delta).ln() / (eps * eps)).ceil() as u64).max(1)
 }
 
 /// Sample count for the **For-All-Indicator** guarantee (Lemma 9, third
@@ -41,7 +45,7 @@ pub fn samples_foreach_estimator(eps: f64, delta: f64) -> u64 {
 pub fn samples_forall_indicator(d: u64, k: u64, eps: f64, delta: f64) -> u64 {
     let log_count = crate::combin::log2_binomial(d, k) * std::f64::consts::LN_2;
     assert!(eps > 0.0 && delta > 0.0 && delta < 1.0);
-    ((16.0 / eps) * ((2.0f64).ln() + log_count + (1.0 / delta).ln())).ceil() as u64
+    (((16.0 / eps) * ((2.0f64).ln() + log_count + (1.0 / delta).ln())).ceil() as u64).max(1)
 }
 
 /// Sample count for the **For-All-Estimator** guarantee (Lemma 9, fourth
@@ -49,7 +53,7 @@ pub fn samples_forall_indicator(d: u64, k: u64, eps: f64, delta: f64) -> u64 {
 pub fn samples_forall_estimator(d: u64, k: u64, eps: f64, delta: f64) -> u64 {
     let log_count = crate::combin::log2_binomial(d, k) * std::f64::consts::LN_2;
     assert!(eps > 0.0 && delta > 0.0 && delta < 1.0);
-    ((1.0 / (eps * eps)) * ((2.0f64).ln() + log_count + (1.0 / delta).ln())).ceil() as u64
+    (((1.0 / (eps * eps)) * ((2.0f64).ln() + log_count + (1.0 / delta).ln())).ceil() as u64).max(1)
 }
 
 /// Exact `P[Bin(s, p) = j]` computed in log-space.
@@ -169,6 +173,23 @@ mod tests {
         let b = samples_foreach_indicator(0.025, 0.05);
         let ratio = b as f64 / a as f64;
         assert!((ratio - 4.0).abs() < 0.2, "ratio {ratio}");
+    }
+
+    #[test]
+    fn sample_sizes_never_round_to_zero() {
+        // Extreme-but-legal parameters must still prescribe >= 1 row: a
+        // 0-row sample cannot answer any query. Large ε drives the raw
+        // formulas toward 0; δ near 1 shrinks the log terms.
+        for eps in [0.5, 1.0, 8.0, 1e6, 1e300] {
+            for delta in [0.999_999, 0.5, 1e-12] {
+                assert!(samples_foreach_indicator(eps, delta) >= 1, "fei eps={eps} delta={delta}");
+                assert!(samples_foreach_estimator(eps, delta) >= 1, "fee eps={eps} delta={delta}");
+                for (d, k) in [(1u64, 0u64), (1, 1), (64, 3)] {
+                    assert!(samples_forall_indicator(d, k, eps, delta) >= 1, "fai d={d} k={k}");
+                    assert!(samples_forall_estimator(d, k, eps, delta) >= 1, "fae d={d} k={k}");
+                }
+            }
+        }
     }
 
     #[test]

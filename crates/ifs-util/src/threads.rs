@@ -1,0 +1,143 @@
+//! Thread-count plumbing for the parallel execution layer (DESIGN.md §8).
+//!
+//! Every parallel code path in the workspace takes an explicit thread-count
+//! knob defaulting to 1, and its results are required to be bit-identical
+//! to the serial path at every thread count. This module holds the helpers
+//! that keep that knob consistent across crates: clamping, the
+//! `IFS_THREADS` environment override the integration suites (and CI's
+//! determinism matrix) use to re-run every test under a different worker
+//! count, and the index work queue ([`parallel_map_indexed`]) behind every
+//! "race for work, assemble results in order" site (shard builds, eclat's
+//! per-prefix mining).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Hard cap on worker threads: far above any sensible setting, low enough
+/// that a typo (`IFS_THREADS=1000000`) cannot exhaust the process.
+pub const MAX_THREADS: usize = 256;
+
+/// Normalizes a requested thread count: `0` means "one thread" (the serial
+/// path), and requests above [`MAX_THREADS`] are clamped down.
+#[inline]
+pub fn clamp_threads(threads: usize) -> usize {
+    threads.clamp(1, MAX_THREADS)
+}
+
+/// The thread count requested via the `IFS_THREADS` environment variable,
+/// defaulting to 1 (serial) when unset.
+///
+/// The integration suites build their sketches and miners with this value,
+/// so CI can run the same tests under `IFS_THREADS=1` and `IFS_THREADS=4`
+/// and enforce the determinism contract on every push. A value that is set
+/// but not a number **panics**: silently falling back to serial would skip
+/// exactly the configuration the knob exists to test.
+pub fn env_threads() -> usize {
+    match std::env::var("IFS_THREADS") {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(n) => clamp_threads(n),
+            Err(_) => panic!(
+                "IFS_THREADS must be a non-negative integer, got {v:?} \
+                 (unset it to default to 1 thread)"
+            ),
+        },
+        Err(_) => 1,
+    }
+}
+
+/// Maps `f` over `0..n` with up to `threads` workers, returning results in
+/// index order.
+///
+/// Workers drain an atomic index queue (good load balance when per-index
+/// cost varies, as with mining subtrees) and each result lands in the slot
+/// of its index, so the assembled vector is independent of scheduling —
+/// identical to the serial `(0..n).map(f)` at every thread count.
+/// `threads <= 1` (or `n <= 1`) runs exactly that serial map, with no
+/// queue, locks, or spawned threads.
+pub fn parallel_map_indexed<R: Send>(
+    n: usize,
+    threads: usize,
+    f: impl Fn(usize) -> R + Sync,
+) -> Vec<R> {
+    let threads = clamp_threads(threads).min(n.max(1));
+    if threads == 1 {
+        return (0..n).map(f).collect();
+    }
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                *slots[i].lock().expect("result slot poisoned") = Some(f(i));
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| m.into_inner().expect("result slot poisoned").expect("worker filled slot"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_means_serial() {
+        assert_eq!(clamp_threads(0), 1);
+    }
+
+    #[test]
+    fn sane_values_pass_through() {
+        assert_eq!(clamp_threads(1), 1);
+        assert_eq!(clamp_threads(4), 4);
+        assert_eq!(clamp_threads(8), 8);
+    }
+
+    #[test]
+    fn absurd_values_are_capped() {
+        assert_eq!(clamp_threads(usize::MAX), MAX_THREADS);
+    }
+
+    #[test]
+    fn env_default_is_one() {
+        // The test harness does not set IFS_THREADS for unit tests; if a
+        // developer exports it the value must still be clamped and sane.
+        let t = env_threads();
+        assert!((1..=MAX_THREADS).contains(&t));
+    }
+
+    #[test]
+    fn parallel_map_matches_serial_map() {
+        let f = |i: usize| i * i + 1;
+        let serial: Vec<usize> = (0..37).map(f).collect();
+        for threads in [0usize, 1, 2, 3, 8, 64] {
+            assert_eq!(parallel_map_indexed(37, threads, f), serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_map_edge_sizes() {
+        for n in [0usize, 1, 2] {
+            let serial: Vec<usize> = (0..n).collect();
+            assert_eq!(parallel_map_indexed(n, 4, |i| i), serial, "n={n}");
+        }
+    }
+
+    #[test]
+    fn parallel_map_balances_uneven_work() {
+        // Index 0 is much slower than the rest; the queue must still fill
+        // every slot with the right value.
+        let out = parallel_map_indexed(16, 4, |i| {
+            if i == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+            i * 3
+        });
+        assert_eq!(out, (0..16).map(|i| i * 3).collect::<Vec<_>>());
+    }
+}

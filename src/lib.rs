@@ -56,9 +56,9 @@ pub use ifs_util as util;
 pub mod prelude {
     pub use ifs_core::{
         boosting::MedianBoost, EstimatorAsIndicator, FrequencyEstimator, FrequencyIndicator,
-        Guarantee, ReleaseAnswersEstimator, ReleaseAnswersIndicator, ReleaseDb, Sketch,
+        Guarantee, Parallel, ReleaseAnswersEstimator, ReleaseAnswersIndicator, ReleaseDb, Sketch,
         SketchParams, Subsample,
     };
-    pub use ifs_database::{generators, ColumnStore, Database, Itemset};
+    pub use ifs_database::{generators, ColumnStore, Database, Itemset, ShardedColumnStore};
     pub use ifs_util::Rng64;
 }

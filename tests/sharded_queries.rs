@@ -1,0 +1,168 @@
+//! The parallel execution layer is bit-identical to the serial one.
+//!
+//! DESIGN.md §8's determinism contract: the sharded columnar engine, the
+//! thread-knobbed sketches, and the threaded miners are *execution
+//! strategies*, never approximations — at every thread count they must
+//! return exactly the serial answers (same integers, same `f64` bits, same
+//! output order). These property tests (fixed case count and seed, like
+//! every suite here) drive thread counts 1–8 and adversarial row counts
+//! (0, 1, 63, 64, 65, and non-multiples of the shard size, so shard-tail
+//! words are exercised).
+//!
+//! The sketch and miner property tests build their threaded side at
+//! `env_threads()` (the `IFS_THREADS` override, default 1) plus one fixed
+//! 2-thread leg, so CI's two runs — `IFS_THREADS=1` and `IFS_THREADS=4` —
+//! genuinely exercise the serial and 4-worker configurations of every
+//! sketch and miner, and the contract is enforced on every push.
+
+use itemset_sketches::database::{ColumnStore, Itemset, ShardedColumnStore};
+use itemset_sketches::prelude::*;
+use itemset_sketches::util::threads::env_threads;
+use proptest::prelude::*;
+
+/// A random query log over `d` attributes: cardinalities 0..=4, duplicates
+/// allowed (repeated queries exercise scratch reuse).
+fn random_queries(d: usize, count: usize, rng: &mut Rng64) -> Vec<Itemset> {
+    (0..count)
+        .map(|_| {
+            let k = rng.below(5).min(d);
+            (0..k).map(|_| rng.below(d.max(1)) as u32).collect()
+        })
+        .collect()
+}
+
+/// Word-boundary-adversarial row counts: empty, single row, one under/at/
+/// over a tid word, and values that leave ragged tail shards for every
+/// shard size used below.
+const ADVERSARIAL_ROWS: [usize; 9] = [0, 1, 63, 64, 65, 127, 129, 200, 321];
+
+#[test]
+fn sharded_store_matches_serial_on_adversarial_shapes() {
+    let mut rng = Rng64::seeded(0x5AD0);
+    for n in ADVERSARIAL_ROWS {
+        for d in [1usize, 7, 64, 65] {
+            let db = generators::uniform(n, d, 0.4, &mut rng);
+            let serial = ColumnStore::build(db.matrix());
+            let queries = random_queries(d, 20, &mut rng);
+            for shard_rows in [64usize, 128, 256] {
+                for threads in 1..=8usize {
+                    let sharded =
+                        ShardedColumnStore::build_with_shard_rows(db.matrix(), shard_rows, threads);
+                    let sup = sharded.support_batch(&queries, threads);
+                    let freq = sharded.frequency_batch(&queries, threads);
+                    for (i, t) in queries.iter().enumerate() {
+                        assert_eq!(
+                            sup[i],
+                            serial.support(t),
+                            "support n={n} d={d} sr={shard_rows} threads={threads} {t}"
+                        );
+                        assert_eq!(
+                            freq[i],
+                            serial.frequency(t),
+                            "frequency n={n} d={d} sr={shard_rows} threads={threads} {t}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases_and_seed(32, 0x5A_8D))]
+
+    /// Arbitrary shapes: sharded supports/frequencies equal the row-major
+    /// database and serial columnar answers at every thread count.
+    #[test]
+    fn sharded_matches_serial_on_random_shapes(
+        n in 0usize..400,
+        d in 0usize..96,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = Rng64::seeded(seed);
+        let db = generators::uniform(n, d, 0.35, &mut rng);
+        let queries = random_queries(d, 15, &mut rng);
+        let serial_sup = db.support_batch(&queries);
+        let serial_freq = db.frequencies(&queries);
+        for threads in [1usize, 2, 3, 5, 8] {
+            let sup = db.support_batch_with_threads(&queries, threads);
+            let freq = db.frequencies_with_threads(&queries, threads);
+            prop_assert_eq!(&sup, &serial_sup, "supports diverged at {} threads", threads);
+            prop_assert_eq!(&freq, &serial_freq, "frequencies diverged at {} threads", threads);
+        }
+    }
+
+    /// Sketches with the thread knob: batched answers are bit-identical to
+    /// the serial sketch query by query. The knob value under test includes
+    /// the CI-driven `IFS_THREADS`.
+    #[test]
+    fn sketches_are_thread_count_invariant(
+        n in 1usize..200,
+        d in 1usize..48,
+        s in 1usize..100,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = Rng64::seeded(seed);
+        let db = generators::uniform(n, d, 0.45, &mut rng);
+        let queries = random_queries(d, 15, &mut rng);
+        let sub_serial = Subsample::with_sample_count(&db, s, 0.1, &mut Rng64::seeded(seed ^ 1));
+        let rel_serial = ReleaseDb::build(&db, 0.2);
+        // env_threads() is the CI-driven knob (IFS_THREADS=1 and =4 legs);
+        // the fixed 2-thread leg keeps a parallel path exercised even in a
+        // plain serial `cargo test` run.
+        for threads in [2usize, env_threads()] {
+            let sub = Subsample::with_sample_count(&db, s, 0.1, &mut Rng64::seeded(seed ^ 1))
+                .with_threads(threads);
+            prop_assert_eq!(
+                sub.estimate_batch(&queries),
+                sub_serial.estimate_batch(&queries),
+                "Subsample estimates diverged at {} threads", threads
+            );
+            prop_assert_eq!(
+                sub.is_frequent_batch(&queries),
+                sub_serial.is_frequent_batch(&queries),
+                "Subsample indicators diverged at {} threads", threads
+            );
+            let rel = ReleaseDb::build(&db, 0.2).with_threads(threads);
+            prop_assert_eq!(
+                rel.estimate_batch(&queries),
+                rel_serial.estimate_batch(&queries),
+                "ReleaseDb estimates diverged at {} threads", threads
+            );
+            let adapter = EstimatorAsIndicator::new(
+                ReleaseDb::build(&db, 0.2), 0.2,
+            ).with_threads(threads);
+            let adapter_serial = EstimatorAsIndicator::new(rel_serial.clone(), 0.2);
+            prop_assert_eq!(
+                adapter.is_frequent_batch(&queries),
+                adapter_serial.is_frequent_batch(&queries),
+                "adapter diverged at {} threads", threads
+            );
+        }
+    }
+
+    /// Threaded miners return exactly the serial output — same itemsets,
+    /// same frequency bits, same order (no sorting before comparison).
+    #[test]
+    fn miners_are_thread_count_invariant(
+        n in 1usize..120,
+        d in 1usize..14,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = Rng64::seeded(seed);
+        let db = generators::uniform(n, d, 0.4, &mut rng);
+        let thresh = 0.2;
+        let eclat_serial = itemset_sketches::mining::eclat::mine(&db, thresh, usize::MAX);
+        let apriori_serial = itemset_sketches::mining::apriori::mine(&db, thresh, usize::MAX);
+        for threads in [2usize, env_threads()] {
+            let e = itemset_sketches::mining::eclat::mine_with_threads(
+                &db, thresh, usize::MAX, threads,
+            );
+            prop_assert_eq!(&e, &eclat_serial, "eclat diverged at {} threads", threads);
+            let a = itemset_sketches::mining::apriori::mine_with_threads(
+                &db, thresh, usize::MAX, threads,
+            );
+            prop_assert_eq!(&a, &apriori_serial, "apriori diverged at {} threads", threads);
+        }
+    }
+}
