@@ -1,0 +1,234 @@
+//! Criterion: streaming ingestion — append-in-place vs invalidate-and-
+//! re-transpose, plus the streamed == one-shot build identities.
+//!
+//! The acceptance targets for the streaming ingestion layer (DESIGN.md §9)
+//! on a database ingesting 1k-row batches with a batched query log served
+//! between batches:
+//!
+//! 1. **Identity** — streamed, merged, and sharded builds are bit-identical
+//!    to one-shot builds for `Subsample`, `ReleaseDb`, `CountMinSketch`
+//!    (via its row fold) and `CountSketch`, and the append-maintained
+//!    columnar caches answer exactly like a cold rebuild (asserted on every
+//!    run, including the smoke pass).
+//! 2. **Speedup** — `append_rows` + query ≥ 3× faster than the historical
+//!    mutate-invalidate-requery loop, which paid a full re-transpose per
+//!    batch. Full scale (100k rows) in release; the smoke pass (debug)
+//!    gates the same ratio at 20k rows so CI stays fast.
+//!
+//! The gate emits `bench_results/BENCH_ingest.json` (rows/sec, queries/sec)
+//! so the perf trajectory is machine-readable across PRs.
+//!
+//! Run with `cargo bench -p ifs-bench --bench ingest_throughput`; under
+//! `cargo test --benches` each body runs once as a smoke test.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ifs_core::streaming::{fold_database, MergeableSketch, StreamingBuild};
+use ifs_core::{ReleaseDb, ReleaseDbBuilder, Subsample, SubsampleBuilder, SubsampleParams};
+use ifs_database::{Database, Itemset};
+use ifs_streaming::{CountMinFold, CountMinFoldParams, CountSketchFold, CountSketchFoldParams};
+use ifs_util::Rng64;
+use std::hint::black_box;
+
+/// Full scale in release; the debug smoke pass runs the same pipeline at a
+/// fifth of the rows (the speedup ratio is scale-free — both paths shrink
+/// together — and a debug-mode 100-batch re-transpose loop would dominate
+/// CI time).
+const TOTAL_ROWS: usize = if cfg!(debug_assertions) { 20_000 } else { 100_000 };
+const DIMS: usize = 128;
+const BATCH_ROWS: usize = 1_000;
+const QUERIES_PER_BATCH: usize = 100;
+
+/// Deterministic ingest batches (each row an attribute-index set) and a
+/// mixed-cardinality query log, the shape of an indicator workload.
+fn workload() -> (Vec<Vec<Itemset>>, Vec<Itemset>) {
+    let mut rng = Rng64::seeded(0x1465);
+    let batches: Vec<Vec<Itemset>> = (0..TOTAL_ROWS / BATCH_ROWS)
+        .map(|_| {
+            (0..BATCH_ROWS)
+                .map(|_| (0..DIMS as u32).filter(|_| rng.bernoulli(0.3)).collect())
+                .collect()
+        })
+        .collect();
+    let mut queries: Vec<Itemset> = (0..QUERIES_PER_BATCH - 1)
+        .map(|q| (0..1 + q % 4).map(|_| rng.below(DIMS) as u32).collect())
+        .collect();
+    queries.push(Itemset::empty());
+    (batches, queries)
+}
+
+/// The ingest-then-query loop on the append fast path: warm views are
+/// extended in place, so each batch pays `O(batch)` maintenance.
+fn run_incremental(batches: &[Vec<Itemset>], queries: &[Itemset]) -> (Database, Vec<f64>) {
+    let mut db = Database::zeros(0, DIMS);
+    let _ = db.columns(); // warm the view: ingestion maintains it in place
+    let mut last = Vec::new();
+    for batch in batches {
+        db.append_rows(batch);
+        last = db.frequencies(queries);
+        black_box(last.len());
+    }
+    (db, last)
+}
+
+/// The historical loop: the same matrix growth through `matrix_mut`, which
+/// drops every cached view, so each post-batch query pays a full
+/// re-transpose of everything ingested so far.
+fn run_invalidating(batches: &[Vec<Itemset>], queries: &[Itemset]) -> (Database, Vec<f64>) {
+    let mut db = Database::zeros(0, DIMS);
+    let mut last = Vec::new();
+    for batch in batches {
+        let matrix = db.matrix_mut();
+        let base = matrix.rows();
+        matrix.push_zero_rows(batch.len());
+        for (i, row) in batch.iter().enumerate() {
+            for &c in row.items() {
+                matrix.set(base + i, c as usize, true);
+            }
+        }
+        last = db.frequencies(queries);
+        black_box(last.len());
+    }
+    (db, last)
+}
+
+/// Streamed == one-shot bit-identity for all four sketches, on a database
+/// assembled from the first ingest batches. Runs in the smoke pass.
+fn assert_build_identities(batches: &[Vec<Itemset>]) {
+    let rows: Vec<Itemset> = batches.iter().take(5).flatten().cloned().collect();
+    let mut db = Database::zeros(0, DIMS);
+    db.append_rows(&rows);
+    let d = db.dims();
+
+    // Subsample: one-shot == streamed-in-batches == sharded at 4 threads.
+    let params = SubsampleParams { sample_rows: 500, epsilon: 0.05 };
+    let one_shot = Subsample::with_sample_count_seeded(&db, 500, 0.05, 0x5EED);
+    let mut streamed = SubsampleBuilder::begin(d, 0x5EED, &params);
+    for batch in batches.iter().take(5) {
+        streamed.observe_rows(batch.iter());
+    }
+    assert_eq!(
+        streamed.finish().sample(),
+        one_shot.sample(),
+        "streamed Subsample diverged from one-shot"
+    );
+    let sharded = Subsample::with_sample_count_sharded(&db, 500, 0.05, 0x5EED, 4);
+    assert_eq!(sharded.sample(), one_shot.sample(), "sharded Subsample diverged from one-shot");
+
+    // ReleaseDb: fold == clone-build; merged halves == whole.
+    let folded = fold_database::<ReleaseDbBuilder>(&db, 0, &0.1);
+    assert_eq!(folded.database(), ReleaseDb::build(&db, 0.1).database());
+
+    // Count-Min / Count-Sketch row folds: merged halves == one pass.
+    let cm = CountMinFoldParams { k: 2, width: 256, depth: 4, conservative: false };
+    let mut cm_one = CountMinFold::begin(d, 7, &cm);
+    cm_one.observe_rows(&rows);
+    let mut cm_a = CountMinFold::begin(d, 7, &cm);
+    cm_a.observe_rows(&rows[..rows.len() / 2]);
+    let mut cm_b = CountMinFold::begin(d, 7, &cm);
+    cm_b.observe_rows(&rows[rows.len() / 2..]);
+    cm_a.merge(cm_b).expect("same-shape folds merge");
+    assert_eq!(cm_a.finish(), cm_one.finish(), "merged Count-Min diverged from one-pass");
+
+    let cs = CountSketchFoldParams { k: 2, width: 256, depth: 3 };
+    let mut cs_one = CountSketchFold::begin(d, 7, &cs);
+    cs_one.observe_rows(&rows);
+    let mut cs_a = CountSketchFold::begin(d, 7, &cs);
+    cs_a.observe_rows(&rows[..rows.len() / 3]);
+    let mut cs_b = CountSketchFold::begin(d, 7, &cs);
+    cs_b.observe_rows(&rows[rows.len() / 3..]);
+    cs_a.merge(cs_b).expect("same-shape folds merge");
+    assert_eq!(cs_a.finish(), cs_one.finish(), "merged Count-Sketch diverged from one-pass");
+}
+
+fn bench_ingest_paths(c: &mut Criterion) {
+    let (batches, queries) = workload();
+    // A scaled-down loop per iteration keeps timed runs bounded; the gate
+    // below runs the full configuration once.
+    let slice = &batches[..(batches.len() / 4).max(1)];
+    let mut g = c.benchmark_group("ingest_throughput");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements((slice.len() * BATCH_ROWS) as u64));
+    g.bench_function("append_in_place", |b| {
+        b.iter(|| black_box(run_incremental(black_box(slice), black_box(&queries)).1));
+    });
+    g.bench_function("invalidate_and_retranspose", |b| {
+        b.iter(|| black_box(run_invalidating(black_box(slice), black_box(&queries)).1));
+    });
+    g.finish();
+}
+
+/// The ≥ 3× wall-clock gate, runnable outside criterion timing so the
+/// smoke pass (`cargo test --benches`) enforces the acceptance criterion —
+/// and emits the machine-readable `BENCH_ingest.json` — on every CI run.
+fn bench_speedup_gate(c: &mut Criterion) {
+    let (batches, queries) = workload();
+    assert_build_identities(&batches);
+
+    let t0 = std::time::Instant::now();
+    let (inc_db, inc_answers) = run_incremental(&batches, &queries);
+    let incremental = t0.elapsed();
+    let t1 = std::time::Instant::now();
+    let (inv_db, inv_answers) = run_invalidating(&batches, &queries);
+    let invalidating = t1.elapsed();
+
+    // Identity before speed: both loops must have served the same answers
+    // over the same final database.
+    assert_eq!(inc_db, inv_db, "append and mutate-invalidate built different databases");
+    assert_eq!(inc_answers, inv_answers, "append-maintained views served different answers");
+    assert_eq!(
+        inc_db.frequencies(&queries),
+        Database::from_matrix(inc_db.matrix().clone()).frequencies(&queries),
+        "append-maintained views diverged from a cold rebuild"
+    );
+
+    let speedup = invalidating.as_secs_f64() / incremental.as_secs_f64().max(1e-12);
+    let total_queries = (TOTAL_ROWS / BATCH_ROWS) * QUERIES_PER_BATCH;
+    let rows_per_sec = TOTAL_ROWS as f64 / incremental.as_secs_f64().max(1e-12);
+    let queries_per_sec = total_queries as f64 / incremental.as_secs_f64().max(1e-12);
+    println!(
+        "ingest_throughput gate: append {incremental:?}, invalidate {invalidating:?} \
+         ({speedup:.1}x) on {TOTAL_ROWS} rows x {DIMS} dims, {BATCH_ROWS}-row batches, \
+         {QUERIES_PER_BATCH} queries/batch ({rows_per_sec:.0} rows/s, \
+         {queries_per_sec:.0} queries/s)"
+    );
+    write_bench_json(speedup, rows_per_sec, queries_per_sec);
+    assert!(
+        speedup >= 3.0,
+        "append_rows + query must be >= 3x the invalidate-and-retranspose loop, \
+         got {speedup:.2}x"
+    );
+    // Keep criterion's group bookkeeping consistent even though the gate
+    // does its own timing.
+    let mut g = c.benchmark_group("ingest_throughput_gate");
+    g.bench_function("noop", |b| b.iter(|| black_box(0)));
+    g.finish();
+}
+
+/// Hand-rolled JSON (DESIGN.md §6: no serde) under the workspace's
+/// `bench_results/`. Whichever run happened last owns the file — that is
+/// the artifact CI surfaces — and the `mode` field records whether a debug
+/// smoke or a release bench produced the numbers, so readers comparing
+/// across PRs never mistake one for the other.
+fn write_bench_json(speedup: f64, rows_per_sec: f64, queries_per_sec: f64) {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../bench_results");
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("ingest_throughput: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let mode = if cfg!(debug_assertions) { "debug" } else { "release" };
+    let json = format!(
+        "{{\n  \"bench\": \"ingest_throughput\",\n  \"mode\": \"{mode}\",\n  \
+         \"rows_total\": {TOTAL_ROWS},\n  \"dims\": {DIMS},\n  \
+         \"batch_rows\": {BATCH_ROWS},\n  \"queries_per_batch\": {QUERIES_PER_BATCH},\n  \
+         \"rows_per_sec\": {rows_per_sec:.1},\n  \"queries_per_sec\": {queries_per_sec:.1},\n  \
+         \"speedup_vs_retranspose\": {speedup:.2}\n}}\n"
+    );
+    let path = dir.join("BENCH_ingest.json");
+    match std::fs::write(&path, json) {
+        Ok(()) => println!("ingest_throughput: wrote {}", path.display()),
+        Err(e) => eprintln!("ingest_throughput: cannot write {}: {e}", path.display()),
+    }
+}
+
+criterion_group!(benches, bench_ingest_paths, bench_speedup_gate);
+criterion_main!(benches);

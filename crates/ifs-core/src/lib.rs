@@ -23,8 +23,11 @@
 //!   with the sample counts of Lemma 9.
 //!
 //! plus [`boosting`] (the For-Each → For-All median transform from the proof
-//! of Theorem 17) and [`bounds`] (closed-form upper bounds of Theorem 12 and
-//! lower bounds of Theorems 13–17, used by the experiment harness).
+//! of Theorem 17), [`bounds`] (closed-form upper bounds of Theorem 12 and
+//! lower bounds of Theorems 13–17, used by the experiment harness), and
+//! [`streaming`] (the fold-and-merge build contracts of DESIGN.md §9:
+//! every sketch build is a single-pass fold over the rows, and partial
+//! builds merge bit-identically to the one-pass fold).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -34,11 +37,16 @@ pub mod bounds;
 mod params;
 mod release_answers;
 mod release_db;
+pub mod streaming;
 mod subsample;
 mod traits;
 
 pub use params::{Guarantee, SketchParams};
-pub use release_answers::{ReleaseAnswersEstimator, ReleaseAnswersIndicator};
-pub use release_db::ReleaseDb;
-pub use subsample::Subsample;
+pub use release_answers::{
+    ReleaseAnswersEstimator, ReleaseAnswersEstimatorBuilder, ReleaseAnswersIndicator,
+    ReleaseAnswersIndicatorBuilder, ReleaseAnswersParams,
+};
+pub use release_db::{ReleaseDb, ReleaseDbBuilder};
+pub use streaming::{MergeError, MergeableSketch, StreamingBuild};
+pub use subsample::{Subsample, SubsampleBuilder, SubsampleParams};
 pub use traits::{EstimatorAsIndicator, FrequencyEstimator, FrequencyIndicator, Parallel, Sketch};

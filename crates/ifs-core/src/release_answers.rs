@@ -9,13 +9,97 @@
 //! Answers are indexed by the colexicographic rank of the itemset, so no
 //! itemset identifiers are stored at all. Both variants are *deterministic*
 //! and satisfy the For-All contracts with δ = 0.
+//!
+//! **Ingestion (DESIGN.md §9).** Both builds are expressed as single-pass
+//! folds over the rows: the builders accumulate one raw *support counter*
+//! per `k`-itemset, and thresholding (indicator) or quantization
+//! (estimator) happens once at `finish`. Supports are plain sums, so the
+//! **builders** merge counter-wise (commutatively); the **finished
+//! sketches** do not implement `MergeableSketch` at all — a stored
+//! threshold bit or quantized level cannot be re-aggregated across shards
+//! without the raw counts, so the paper's construction is inherently
+//! offline once finished, and the type system says so.
 
+use crate::streaming::{MergeError, MergeableSketch, StreamingBuild};
 use crate::traits::{FrequencyEstimator, FrequencyIndicator, Sketch};
 use ifs_database::{Database, Itemset};
 use ifs_util::{bits, combin};
 
+/// Shared fold state of both RELEASE-ANSWERS builders: one raw support
+/// counter per `k`-itemset (indexed by colex rank) plus the row count.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct SupportCounts {
+    k: usize,
+    d: usize,
+    supports: Vec<u64>,
+    rows: u64,
+}
+
+impl SupportCounts {
+    fn begin(d: usize, k: usize) -> Self {
+        assert!(k >= 1 && k <= d, "k={k} out of range for d={d}");
+        let count = combin::binomial_u64(d as u64, k as u64);
+        Self { k, d, supports: vec![0; count as usize], rows: 0 }
+    }
+
+    /// Folds one row: every `k`-subset of the row's items gains one
+    /// support. `C(|row|, k)` increments — the same enumeration the
+    /// streaming adapter uses, and usually far cheaper than the
+    /// `O(C(d,k)·n)` subset tests of the historical per-itemset build.
+    fn observe_row(&mut self, row: &Itemset) {
+        let items = row.items();
+        assert!(
+            items.last().is_none_or(|&m| (m as usize) < self.d),
+            "row has item out of range for {} attributes",
+            self.d
+        );
+        self.rows += 1;
+        if items.len() < self.k {
+            return;
+        }
+        let mut subset = vec![0u32; self.k];
+        for combo in combin::Combinations::new(items.len() as u32, self.k as u32) {
+            for (slot, &i) in subset.iter_mut().zip(&combo) {
+                *slot = items[i as usize];
+            }
+            self.supports[combin::rank_colex(&subset) as usize] += 1;
+        }
+    }
+
+    /// Frequency of the itemset with colex rank `rank` (0 for an empty
+    /// stream) — the same integer-over-integer division the row-major
+    /// `Database::frequency` performs, so finished answers are
+    /// bit-identical to the historical build.
+    fn frequency(&self, rank: usize) -> f64 {
+        if self.rows == 0 {
+            return 0.0;
+        }
+        self.supports[rank] as f64 / self.rows as f64
+    }
+
+    fn merge(&mut self, other: &Self) -> Result<(), MergeError> {
+        if other.d != self.d || other.k != self.k {
+            return Err(MergeError::Incompatible(format!(
+                "ReleaseAnswers partials differ: (d, k) = ({}, {}) vs ({}, {})",
+                self.d, self.k, other.d, other.k
+            )));
+        }
+        for (mine, theirs) in self.supports.iter_mut().zip(&other.supports) {
+            *mine += theirs;
+        }
+        self.rows += other.rows;
+        Ok(())
+    }
+}
+
 /// Indicator answers for all `k`-itemsets: one bit per itemset.
-#[derive(Clone, Debug)]
+///
+/// Deliberately **not** [`MergeableSketch`]: the stored bit `f_T ≥ ε`
+/// cannot be re-aggregated across shards (two shard-local bits say nothing
+/// about the global frequency). Merge the
+/// [builders](ReleaseAnswersIndicatorBuilder), which still hold raw
+/// supports, instead.
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ReleaseAnswersIndicator {
     k: usize,
     d: usize,
@@ -24,29 +108,81 @@ pub struct ReleaseAnswersIndicator {
 }
 
 impl ReleaseAnswersIndicator {
-    /// Precomputes the threshold bit (`f_T ≥ ε`) for every `k`-itemset.
-    ///
-    /// Cost: one pass over the database per itemset — `O(C(d,k) · n)` subset
-    /// tests. Callers are expected to keep `C(d,k)` laptop-sized; the
-    /// experiments do.
+    /// Precomputes the threshold bit (`f_T ≥ ε`) for every `k`-itemset, as
+    /// a single fold over the rows ([`ReleaseAnswersIndicatorBuilder`]) —
+    /// so one-shot and streamed builds are bit-identical by construction.
+    /// Callers are expected to keep `C(d,k)` laptop-sized; the experiments
+    /// do.
     pub fn build(db: &Database, k: usize, epsilon: f64) -> Self {
-        assert!(k >= 1 && k <= db.dims(), "k={k} out of range for d={}", db.dims());
-        assert!(epsilon > 0.0 && epsilon < 1.0);
-        let d = db.dims();
-        let count = combin::binomial_u64(d as u64, k as u64);
-        let mut words = vec![0u64; bits::words_for(count as usize).max(1)];
-        for (rank, comb) in combin::Combinations::new(d as u32, k as u32).enumerate() {
-            let t = Itemset::new(comb);
-            if db.frequency(&t) >= epsilon {
-                bits::set(&mut words, rank, true);
-            }
-        }
-        Self { k, d, words, count }
+        crate::streaming::fold_database::<ReleaseAnswersIndicatorBuilder>(
+            db,
+            0,
+            &ReleaseAnswersParams { k, epsilon },
+        )
     }
 
     /// Number of stored answers (`C(d,k)`).
     pub fn answer_count(&self) -> u64 {
         self.count
+    }
+}
+
+/// Build-time parameters of the RELEASE-ANSWERS builders.
+#[derive(Clone, Debug)]
+pub struct ReleaseAnswersParams {
+    /// Itemset cardinality `k` answered by the sketch.
+    pub k: usize,
+    /// Threshold / precision ε.
+    pub epsilon: f64,
+}
+
+/// Streaming builder for [`ReleaseAnswersIndicator`]: accumulates raw
+/// supports, thresholds at `finish`. Merging is counter-wise and therefore
+/// **commutative** as well as associative.
+#[derive(Clone, Debug)]
+pub struct ReleaseAnswersIndicatorBuilder {
+    counts: SupportCounts,
+    epsilon: f64,
+}
+
+impl StreamingBuild for ReleaseAnswersIndicatorBuilder {
+    type Params = ReleaseAnswersParams;
+    type Output = ReleaseAnswersIndicator;
+
+    fn begin_at(dims: usize, _seed: u64, params: &ReleaseAnswersParams, _row_offset: u64) -> Self {
+        assert!(params.epsilon > 0.0 && params.epsilon < 1.0);
+        Self { counts: SupportCounts::begin(dims, params.k), epsilon: params.epsilon }
+    }
+
+    fn observe_row(&mut self, row: &Itemset) {
+        self.counts.observe_row(row);
+    }
+
+    fn rows_seen(&self) -> u64 {
+        self.counts.rows
+    }
+
+    fn finish(self) -> ReleaseAnswersIndicator {
+        let count = self.counts.supports.len() as u64;
+        let mut words = vec![0u64; bits::words_for(count as usize).max(1)];
+        for rank in 0..count as usize {
+            if self.counts.frequency(rank) >= self.epsilon {
+                bits::set(&mut words, rank, true);
+            }
+        }
+        ReleaseAnswersIndicator { k: self.counts.k, d: self.counts.d, words, count }
+    }
+}
+
+impl MergeableSketch for ReleaseAnswersIndicatorBuilder {
+    fn merge(&mut self, other: Self) -> Result<(), MergeError> {
+        if other.epsilon.to_bits() != self.epsilon.to_bits() {
+            return Err(MergeError::Incompatible(format!(
+                "ReleaseAnswers partials with different thresholds: {} vs {}",
+                self.epsilon, other.epsilon
+            )));
+        }
+        self.counts.merge(&other.counts)
     }
 }
 
@@ -66,7 +202,12 @@ impl FrequencyIndicator for ReleaseAnswersIndicator {
 }
 
 /// Estimator answers for all `k`-itemsets, quantized to precision ε.
-#[derive(Clone, Debug)]
+///
+/// Like the indicator variant, **not** [`MergeableSketch`]: quantization
+/// is lossy, so re-aggregating shard-local levels could not reproduce the
+/// one-pass quantization bit for bit. Merge the
+/// [builders](ReleaseAnswersEstimatorBuilder) instead.
+#[derive(Clone, Debug, PartialEq)]
 pub struct ReleaseAnswersEstimator {
     k: usize,
     d: usize,
@@ -78,29 +219,14 @@ pub struct ReleaseAnswersEstimator {
 
 impl ReleaseAnswersEstimator {
     /// Precomputes every `k`-itemset frequency rounded to the nearest point
-    /// of a uniform grid on `[0, 1]` with spacing `≤ 2ε`.
+    /// of a uniform grid on `[0, 1]` with spacing `≤ 2ε`, as a single fold
+    /// over the rows ([`ReleaseAnswersEstimatorBuilder`]).
     pub fn build(db: &Database, k: usize, epsilon: f64) -> Self {
-        assert!(k >= 1 && k <= db.dims());
-        assert!(epsilon > 0.0 && epsilon < 1.0);
-        let d = db.dims();
-        // levels - 1 intervals of width <= 2ε covering [0,1].
-        let levels = (1.0 / (2.0 * epsilon)).ceil() as u64 + 1;
-        let bits_per = 64 - (levels - 1).leading_zeros();
-        let count = combin::binomial_u64(d as u64, k as u64);
-        let total_bits = (count as usize) * (bits_per as usize);
-        let mut packed = vec![0u64; bits::words_for(total_bits).max(1)];
-        for (rank, comb) in combin::Combinations::new(d as u32, k as u32).enumerate() {
-            let t = Itemset::new(comb);
-            let f = db.frequency(&t);
-            let level = (f * (levels - 1) as f64).round() as u64;
-            let base = rank * bits_per as usize;
-            for b in 0..bits_per as usize {
-                if (level >> b) & 1 == 1 {
-                    bits::set(&mut packed, base + b, true);
-                }
-            }
-        }
-        Self { k, d, bits_per, levels, packed, count }
+        crate::streaming::fold_database::<ReleaseAnswersEstimatorBuilder>(
+            db,
+            0,
+            &ReleaseAnswersParams { k, epsilon },
+        )
     }
 
     /// Bits stored per answer.
@@ -111,6 +237,71 @@ impl ReleaseAnswersEstimator {
     /// Number of stored answers (`C(d,k)`).
     pub fn answer_count(&self) -> u64 {
         self.count
+    }
+}
+
+/// Streaming builder for [`ReleaseAnswersEstimator`]: accumulates raw
+/// supports, quantizes at `finish`. Merging is counter-wise and therefore
+/// **commutative** as well as associative.
+#[derive(Clone, Debug)]
+pub struct ReleaseAnswersEstimatorBuilder {
+    counts: SupportCounts,
+    epsilon: f64,
+}
+
+impl StreamingBuild for ReleaseAnswersEstimatorBuilder {
+    type Params = ReleaseAnswersParams;
+    type Output = ReleaseAnswersEstimator;
+
+    fn begin_at(dims: usize, _seed: u64, params: &ReleaseAnswersParams, _row_offset: u64) -> Self {
+        assert!(params.epsilon > 0.0 && params.epsilon < 1.0);
+        Self { counts: SupportCounts::begin(dims, params.k), epsilon: params.epsilon }
+    }
+
+    fn observe_row(&mut self, row: &Itemset) {
+        self.counts.observe_row(row);
+    }
+
+    fn rows_seen(&self) -> u64 {
+        self.counts.rows
+    }
+
+    fn finish(self) -> ReleaseAnswersEstimator {
+        // levels - 1 intervals of width <= 2ε covering [0,1].
+        let levels = (1.0 / (2.0 * self.epsilon)).ceil() as u64 + 1;
+        let bits_per = 64 - (levels - 1).leading_zeros();
+        let count = self.counts.supports.len() as u64;
+        let total_bits = (count as usize) * (bits_per as usize);
+        let mut packed = vec![0u64; bits::words_for(total_bits).max(1)];
+        for rank in 0..count as usize {
+            let level = (self.counts.frequency(rank) * (levels - 1) as f64).round() as u64;
+            let base = rank * bits_per as usize;
+            for b in 0..bits_per as usize {
+                if (level >> b) & 1 == 1 {
+                    bits::set(&mut packed, base + b, true);
+                }
+            }
+        }
+        ReleaseAnswersEstimator {
+            k: self.counts.k,
+            d: self.counts.d,
+            bits_per,
+            levels,
+            packed,
+            count,
+        }
+    }
+}
+
+impl MergeableSketch for ReleaseAnswersEstimatorBuilder {
+    fn merge(&mut self, other: Self) -> Result<(), MergeError> {
+        if other.epsilon.to_bits() != self.epsilon.to_bits() {
+            return Err(MergeError::Incompatible(format!(
+                "ReleaseAnswers partials with different precisions: {} vs {}",
+                self.epsilon, other.epsilon
+            )));
+        }
+        self.counts.merge(&other.counts)
     }
 }
 
@@ -191,6 +382,60 @@ mod tests {
         let db = Database::zeros(5, 6);
         let s = ReleaseAnswersIndicator::build(&db, 2, 0.1);
         s.is_frequent(&Itemset::singleton(1));
+    }
+
+    /// Builders merged from arbitrary row partitions finish to the same
+    /// bits as the one-shot build — and counter-wise merging commutes.
+    #[test]
+    fn builders_merge_commutatively_to_the_one_shot_answers() {
+        use crate::streaming::{MergeableSketch, StreamingBuild};
+        let mut rng = Rng64::seeded(23);
+        let db = generators::uniform(150, 8, 0.4, &mut rng);
+        let (k, eps) = (2usize, 0.1);
+        let params = ReleaseAnswersParams { k, epsilon: eps };
+        let one_shot = ReleaseAnswersIndicator::build(&db, k, eps);
+        let split = 57;
+        let mut a = ReleaseAnswersIndicatorBuilder::begin(8, 0, &params);
+        let mut b = ReleaseAnswersIndicatorBuilder::begin(8, 0, &params);
+        for r in 0..db.rows() {
+            if r < split { &mut a } else { &mut b }.observe_row(&db.row_itemset(r));
+        }
+        let (mut ab, mut ba) = (a.clone(), b.clone());
+        ab.merge(b).expect("same-shape partials merge");
+        ba.merge(a).expect("counter merge commutes");
+        assert_eq!(ab.finish(), one_shot);
+        assert_eq!(ba.finish(), one_shot, "counter-wise merge must be commutative");
+
+        // The estimator variant shares the same counts core.
+        let est_one_shot = ReleaseAnswersEstimator::build(&db, k, eps);
+        let mut ea = ReleaseAnswersEstimatorBuilder::begin(8, 0, &params);
+        let mut eb = ReleaseAnswersEstimatorBuilder::begin(8, 0, &params);
+        for r in 0..db.rows() {
+            if r % 3 == 0 { &mut ea } else { &mut eb }.observe_row(&db.row_itemset(r));
+        }
+        ea.merge(eb).expect("same-shape partials merge");
+        assert_eq!(ea.finish(), est_one_shot);
+    }
+
+    #[test]
+    fn builder_merge_refuses_shape_mismatches() {
+        use crate::streaming::{MergeError, MergeableSketch, StreamingBuild};
+        let p2 = ReleaseAnswersParams { k: 2, epsilon: 0.1 };
+        let p3 = ReleaseAnswersParams { k: 3, epsilon: 0.1 };
+        let mut a = ReleaseAnswersIndicatorBuilder::begin(8, 0, &p2);
+        assert!(matches!(
+            a.merge(ReleaseAnswersIndicatorBuilder::begin(8, 0, &p3)),
+            Err(MergeError::Incompatible(_))
+        ));
+        assert!(matches!(
+            a.merge(ReleaseAnswersIndicatorBuilder::begin(9, 0, &p2)),
+            Err(MergeError::Incompatible(_))
+        ));
+        let peps = ReleaseAnswersParams { k: 2, epsilon: 0.2 };
+        assert!(matches!(
+            a.merge(ReleaseAnswersIndicatorBuilder::begin(8, 0, &peps)),
+            Err(MergeError::Incompatible(_))
+        ));
     }
 
     #[test]

@@ -1,7 +1,8 @@
 //! RELEASE-DB (Definition 6): the identity sketch.
 
+use crate::streaming::{MergeError, MergeableSketch, StreamingBuild};
 use crate::traits::{FrequencyEstimator, FrequencyIndicator, Parallel, Sketch};
-use ifs_database::{serialize, Database, Itemset};
+use ifs_database::{serialize, BitMatrix, Database, Itemset};
 use ifs_util::threads::clamp_threads;
 
 /// Releases the database verbatim; queries are exact.
@@ -18,6 +19,12 @@ pub struct ReleaseDb {
 
 impl ReleaseDb {
     /// Builds the sketch (a copy of the database) for threshold ε.
+    ///
+    /// Cloning the matrix and folding the rows one by one store the same
+    /// bits, so this is bit-identical to a [`ReleaseDbBuilder`] fold over
+    /// the same rows (asserted in `tests/streaming_builds.rs`); the clone
+    /// is simply the cheaper path when the whole database is already in
+    /// hand.
     pub fn build(db: &Database, epsilon: f64) -> Self {
         assert!(epsilon > 0.0 && epsilon < 1.0);
         Self { db: db.clone(), epsilon, threads: 1 }
@@ -26,6 +33,98 @@ impl ReleaseDb {
     /// The stored database.
     pub fn database(&self) -> &Database {
         &self.db
+    }
+}
+
+/// Sketch-level merge: RELEASE-DB over shard A followed by shard B *is*
+/// RELEASE-DB over A‖B, so merging appends `other`'s rows — through the
+/// [`Database::append_database`] fast path, which extends warm columnar
+/// views in place. Associative; **not commutative** (row order is part of
+/// the database's identity, though every frequency answer is order-
+/// independent). The thread knob of `self` is kept.
+impl MergeableSketch for ReleaseDb {
+    fn merge(&mut self, other: Self) -> Result<(), MergeError> {
+        if other.db.dims() != self.db.dims() {
+            return Err(MergeError::Incompatible(format!(
+                "ReleaseDb dimensions differ: {} vs {}",
+                self.db.dims(),
+                other.db.dims()
+            )));
+        }
+        if other.epsilon.to_bits() != self.epsilon.to_bits() {
+            return Err(MergeError::Incompatible(format!(
+                "ReleaseDb thresholds differ: {} vs {}",
+                self.epsilon, other.epsilon
+            )));
+        }
+        self.db.append_database(&other.db);
+        Ok(())
+    }
+}
+
+/// Streaming builder for [`ReleaseDb`]: the fold just accumulates rows —
+/// the identity sketch's "summary" is the stream itself (DESIGN.md §9).
+#[derive(Clone, Debug)]
+pub struct ReleaseDbBuilder {
+    matrix: BitMatrix,
+    epsilon: f64,
+    offset: u64,
+}
+
+impl StreamingBuild for ReleaseDbBuilder {
+    /// The threshold ε of the finished sketch.
+    type Params = f64;
+    type Output = ReleaseDb;
+
+    fn begin_at(dims: usize, _seed: u64, epsilon: &f64, row_offset: u64) -> Self {
+        assert!(*epsilon > 0.0 && *epsilon < 1.0);
+        Self { matrix: BitMatrix::zeros(0, dims), epsilon: *epsilon, offset: row_offset }
+    }
+
+    fn observe_row(&mut self, row: &Itemset) {
+        let r = self.matrix.rows();
+        self.matrix.push_zero_rows(1);
+        for &c in row.items() {
+            self.matrix.set(r, c as usize, true);
+        }
+    }
+
+    fn rows_seen(&self) -> u64 {
+        self.matrix.rows() as u64
+    }
+
+    fn finish(self) -> ReleaseDb {
+        assert_eq!(
+            self.offset, 0,
+            "a partial ReleaseDb build must be merged back to the stream head before finishing"
+        );
+        ReleaseDb { db: Database::from_matrix(self.matrix), epsilon: self.epsilon, threads: 1 }
+    }
+}
+
+/// Builder merge: row-order-preserving concatenation of adjacent partials.
+/// Associative, not commutative; out-of-order partials are refused.
+impl MergeableSketch for ReleaseDbBuilder {
+    fn merge(&mut self, other: Self) -> Result<(), MergeError> {
+        if other.matrix.cols() != self.matrix.cols() {
+            return Err(MergeError::Incompatible(format!(
+                "ReleaseDb partials over different widths: {} vs {}",
+                self.matrix.cols(),
+                other.matrix.cols()
+            )));
+        }
+        if other.epsilon.to_bits() != self.epsilon.to_bits() {
+            return Err(MergeError::Incompatible(format!(
+                "ReleaseDb partials with different thresholds: {} vs {}",
+                self.epsilon, other.epsilon
+            )));
+        }
+        let expected = self.offset + self.rows_seen();
+        if other.offset != expected {
+            return Err(MergeError::NonContiguous { expected, got: other.offset });
+        }
+        self.matrix.extend_rows(&other.matrix);
+        Ok(())
     }
 }
 
@@ -135,6 +234,50 @@ mod tests {
         let s = ReleaseDb::build(&Database::zeros(0, 4), 0.2);
         assert_eq!(s.estimate(&Itemset::singleton(0)), 0.0);
         assert_eq!(s.estimate_batch(&[Itemset::empty()]), vec![0.0]);
+    }
+
+    #[test]
+    fn builder_fold_matches_one_shot_build() {
+        let db = Database::from_rows(5, &[vec![0, 1], vec![2], vec![], vec![1, 4]]);
+        let one_shot = ReleaseDb::build(&db, 0.25);
+        let streamed = crate::streaming::fold_database::<ReleaseDbBuilder>(&db, 0, &0.25);
+        assert_eq!(streamed.database(), one_shot.database());
+        assert_eq!(
+            streamed.estimate(&Itemset::singleton(1)),
+            one_shot.estimate(&Itemset::singleton(1))
+        );
+    }
+
+    #[test]
+    fn sketch_merge_is_row_concatenation() {
+        let a = Database::from_rows(4, &[vec![0, 1], vec![2]]);
+        let b = Database::from_rows(4, &[vec![3], vec![0, 3]]);
+        let mut merged = ReleaseDb::build(&a, 0.25);
+        let _ = merged.database().columns(); // warm view: merge must maintain it
+        merged.merge(ReleaseDb::build(&b, 0.25)).expect("compatible sketches merge");
+        assert_eq!(merged.database(), &a.stack(&b));
+        assert!(merged.database().has_column_cache(), "merge rides the append fast path");
+        // Width and threshold mismatches refuse.
+        let mut x = ReleaseDb::build(&a, 0.25);
+        assert!(matches!(
+            x.merge(ReleaseDb::build(&Database::zeros(2, 5), 0.25)),
+            Err(MergeError::Incompatible(_))
+        ));
+        assert!(matches!(x.merge(ReleaseDb::build(&b, 0.5)), Err(MergeError::Incompatible(_))));
+    }
+
+    #[test]
+    fn builder_merge_refuses_out_of_order_partials() {
+        let mut a = ReleaseDbBuilder::begin(3, 0, &0.2);
+        a.observe_row(&Itemset::singleton(0));
+        let mut late = ReleaseDbBuilder::begin_at(3, 0, &0.2, 5);
+        late.observe_row(&Itemset::singleton(1));
+        assert_eq!(a.merge(late), Err(MergeError::NonContiguous { expected: 1, got: 5 }));
+        let mut adjacent = ReleaseDbBuilder::begin_at(3, 0, &0.2, 1);
+        adjacent.observe_row(&Itemset::singleton(2));
+        a.merge(adjacent).expect("adjacent partials merge");
+        let sketch = a.finish();
+        assert_eq!(sketch.database(), &Database::from_rows(3, &[vec![0], vec![2]]));
     }
 
     #[test]

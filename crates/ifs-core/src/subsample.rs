@@ -11,10 +11,21 @@
 //! | For-Each-Estimator | `O(ε⁻² log(1/δ))` |
 //! | For-All-Indicator | `O(ε⁻¹ log(C(d,k)/δ))` |
 //! | For-All-Estimator | `O(ε⁻² log(C(d,k)/δ))` |
+//!
+//! Since the streaming-ingestion refactor (DESIGN.md §9), the build *is* a
+//! single-pass fold: [`SubsampleBuilder`] maintains the `s` slots as
+//! independent with-replacement reservoirs over the arriving rows, so the
+//! one-shot constructors, a build streamed in arbitrary batches, and a
+//! sharded build merged from per-shard partials all produce bit-identical
+//! samples from the same seed.
 
 use crate::params::{Guarantee, SketchParams};
+use crate::streaming::{
+    build_sharded, fold_database, MergeError, MergeableSketch, StreamingBuild, INGEST_CHUNK_ROWS,
+};
 use crate::traits::{FrequencyEstimator, FrequencyIndicator, Parallel, Sketch};
 use ifs_database::{serialize, Database, Itemset};
+use ifs_util::hash::stable_hash;
 use ifs_util::threads::clamp_threads;
 use ifs_util::{tail, Rng64};
 
@@ -39,17 +50,61 @@ impl Subsample {
         Self::with_sample_count(db, s, params.epsilon, rng)
     }
 
+    /// [`Subsample::build`] with the fold run as a sharded build merged on
+    /// up to `threads` workers — bit-identical to the serial build at every
+    /// thread count (DESIGN.md §9).
+    pub fn build_with_threads(
+        db: &Database,
+        params: &SketchParams,
+        guarantee: Guarantee,
+        rng: &mut Rng64,
+        threads: usize,
+    ) -> Self {
+        let s = Self::sample_count(db.dims(), params, guarantee);
+        Self::with_sample_count_sharded(db, s, params.epsilon, rng.next_u64(), threads)
+    }
+
     /// Builds a sketch with an explicit number of sampled rows — the knob the
     /// lower-bound experiments turn to trade space against accuracy.
     ///
     /// `s` must be positive: a 0-row sample answers no query (its frequency
     /// estimates would be `0/0`), and every Lemma 9 sample count is ≥ 1, so
     /// an `s = 0` request is always a caller bug.
+    ///
+    /// One draw of `rng` keys the whole build; the sampling itself is the
+    /// [`SubsampleBuilder`] fold, so this is bit-identical to streaming the
+    /// rows through a builder with the same seed.
     pub fn with_sample_count(db: &Database, s: usize, epsilon: f64, rng: &mut Rng64) -> Self {
+        Self::with_sample_count_seeded(db, s, epsilon, rng.next_u64())
+    }
+
+    /// [`Subsample::with_sample_count`] with an explicit 64-bit seed — the
+    /// entry point the streaming tests and distributed builders use to line
+    /// up one-shot, streamed, and merged builds exactly.
+    pub fn with_sample_count_seeded(db: &Database, s: usize, epsilon: f64, seed: u64) -> Self {
         assert!(db.rows() > 0, "cannot sample an empty database");
         assert!(s > 0, "sample count must be positive: a 0-row sample answers no query");
-        let indices: Vec<usize> = (0..s).map(|_| rng.below(db.rows())).collect();
-        Self { sample: db.select_rows(&indices), epsilon, threads: 1 }
+        fold_database::<SubsampleBuilder>(db, seed, &SubsampleParams { sample_rows: s, epsilon })
+    }
+
+    /// [`Subsample::with_sample_count_seeded`] as a sharded build: per-chunk
+    /// partial reservoirs folded on the §8 work queue and merged in row
+    /// order — bit-identical to the serial fold at every thread count.
+    pub fn with_sample_count_sharded(
+        db: &Database,
+        s: usize,
+        epsilon: f64,
+        seed: u64,
+        threads: usize,
+    ) -> Self {
+        assert!(db.rows() > 0, "cannot sample an empty database");
+        assert!(s > 0, "sample count must be positive: a 0-row sample answers no query");
+        build_sharded::<SubsampleBuilder>(
+            db,
+            seed,
+            &SubsampleParams { sample_rows: s, epsilon },
+            threads,
+        )
     }
 
     /// Lemma 9's sample count for the guarantee. For the indicator variants
@@ -124,6 +179,237 @@ impl FrequencyIndicator for Subsample {
     fn is_frequent_batch(&self, itemsets: &[Itemset]) -> Vec<bool> {
         let thresh = 0.75 * self.epsilon;
         self.estimate_batch(itemsets).into_iter().map(|f| f >= thresh).collect()
+    }
+}
+
+/// Build-time parameters of a [`SubsampleBuilder`].
+#[derive(Clone, Debug)]
+pub struct SubsampleParams {
+    /// Number of sampled rows `s` (must be positive).
+    pub sample_rows: usize,
+    /// Threshold ε carried into the finished sketch's indicator.
+    pub epsilon: f64,
+}
+
+/// Streaming builder for [`Subsample`]: `s` independent with-replacement
+/// reservoirs folded over the arriving rows (DESIGN.md §9).
+///
+/// **Construction.** Rows are grouped into [`INGEST_CHUNK_ROWS`]-row chunks
+/// aligned to global row indices. For slot `j` and chunk `c` holding rows
+/// `[o_c, o_c + m_c)`, two draws keyed by `(seed, j, c)` through the
+/// golden-pinned [`stable_hash`] decide (a) whether the slot *replaces* its
+/// content with a row of this chunk — with probability exactly
+/// `m_c / (o_c + m_c)`, the classical distributed-reservoir rule — and (b)
+/// *which* chunk row, uniformly. Telescoping gives every global row
+/// probability `1/n` per slot, i.e. exactly uniform sampling with
+/// replacement (Definition 8), and every decision is a pure function of
+/// `(seed, slot, chunk)`, never of processing history.
+///
+/// **Why this merges bit-identically.** A partial build over a later row
+/// range resolves exactly the chunk decisions a one-pass fold would have
+/// resolved over those rows; merging in row order takes the later partial's
+/// winners and stitches boundary-straddling chunk buffers back together, so
+/// fold, streamed, and sharded-merged builds produce the same sample bit
+/// for bit. Merging is associative; it is **not** commutative — partials
+/// must arrive in row order, and out-of-order merges are refused with
+/// [`MergeError::NonContiguous`].
+#[derive(Clone, Debug)]
+pub struct SubsampleBuilder {
+    dims: usize,
+    seed: u64,
+    params: SubsampleParams,
+    offset: u64,
+    rows_seen: u64,
+    /// Rows from `offset` up to the first chunk boundary — resolvable only
+    /// after this partial is merged onto one covering the chunk's head
+    /// (empty when `offset` is chunk-aligned).
+    front: Vec<Itemset>,
+    /// Rows of the chunk currently being filled; `back[0]` has global index
+    /// `back_start` (always chunk-aligned).
+    back: Vec<Itemset>,
+    back_start: u64,
+    /// Per-slot winners among the rows resolved so far.
+    slots: Vec<Option<Itemset>>,
+}
+
+/// Purpose tags separating the two draw streams of a `(seed, slot, chunk)`
+/// key.
+const DRAW_REPLACE: u64 = 0;
+const DRAW_PICK: u64 = 1;
+
+impl SubsampleBuilder {
+    /// Unbiased uniform draw in `[0, bound)`, keyed by
+    /// `(seed, slot, chunk, purpose)` and rejection-chained through an
+    /// attempt counter — integer-exact, so identical on every platform.
+    fn draw_below(&self, slot: u64, chunk: u64, purpose: u64, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        let threshold = bound.wrapping_neg() % bound; // 2^64 mod bound
+        let mut attempt = 0u64;
+        loop {
+            let h = stable_hash(self.seed, &(slot, chunk, purpose, attempt));
+            let wide = u128::from(h) * u128::from(bound);
+            if (wide as u64) >= threshold {
+                return (wide >> 64) as u64;
+            }
+            attempt += 1;
+        }
+    }
+
+    /// Resolves one fully buffered chunk starting at global row
+    /// `chunk_start`: every slot decides independently whether a row of
+    /// this chunk replaces its content.
+    fn resolve_chunk(&mut self, chunk_start: u64, rows: &[Itemset]) {
+        let chunk = chunk_start / INGEST_CHUNK_ROWS as u64;
+        let m = rows.len() as u64;
+        let seen_through = chunk_start + m;
+        for j in 0..self.params.sample_rows as u64 {
+            if self.draw_below(j, chunk, DRAW_REPLACE, seen_through) < m {
+                let idx = self.draw_below(j, chunk, DRAW_PICK, m);
+                self.slots[j as usize] = Some(rows[idx as usize].clone());
+            }
+        }
+    }
+
+    /// Capacity of the front buffer: rows between `offset` and the first
+    /// chunk boundary.
+    fn front_capacity(&self) -> usize {
+        let k = INGEST_CHUNK_ROWS as u64;
+        (self.offset.div_ceil(k) * k - self.offset) as usize
+    }
+}
+
+impl StreamingBuild for SubsampleBuilder {
+    type Params = SubsampleParams;
+    type Output = Subsample;
+
+    fn begin_at(dims: usize, seed: u64, params: &SubsampleParams, row_offset: u64) -> Self {
+        assert!(
+            params.sample_rows > 0,
+            "sample count must be positive: a 0-row sample answers no query"
+        );
+        let k = INGEST_CHUNK_ROWS as u64;
+        Self {
+            dims,
+            seed,
+            params: params.clone(),
+            offset: row_offset,
+            rows_seen: 0,
+            front: Vec::new(),
+            back: Vec::new(),
+            back_start: row_offset.div_ceil(k) * k,
+            slots: vec![None; params.sample_rows],
+        }
+    }
+
+    fn observe_row(&mut self, row: &Itemset) {
+        assert!(
+            row.max_item().is_none_or(|m| (m as usize) < self.dims),
+            "row has item out of range for {} attributes",
+            self.dims
+        );
+        self.rows_seen += 1;
+        if self.front.len() < self.front_capacity() {
+            self.front.push(row.clone());
+            return;
+        }
+        self.back.push(row.clone());
+        if self.back.len() == INGEST_CHUNK_ROWS {
+            let full = std::mem::take(&mut self.back);
+            self.resolve_chunk(self.back_start, &full);
+            self.back_start += INGEST_CHUNK_ROWS as u64;
+        }
+    }
+
+    fn rows_seen(&self) -> u64 {
+        self.rows_seen
+    }
+
+    fn finish(mut self) -> Subsample {
+        assert_eq!(
+            self.offset, 0,
+            "a partial Subsample build must be merged back to the stream head before finishing"
+        );
+        assert!(self.rows_seen > 0, "cannot sample an empty database");
+        if !self.back.is_empty() {
+            let tail = std::mem::take(&mut self.back);
+            self.resolve_chunk(self.back_start, &tail);
+        }
+        let mut matrix = ifs_database::BitMatrix::zeros(self.params.sample_rows, self.dims);
+        for (r, slot) in self.slots.iter().enumerate() {
+            let row = slot.as_ref().expect("chunk 0 always fills every slot");
+            for &c in row.items() {
+                matrix.set(r, c as usize, true);
+            }
+        }
+        Subsample {
+            sample: Database::from_matrix(matrix),
+            epsilon: self.params.epsilon,
+            threads: 1,
+        }
+    }
+}
+
+impl MergeableSketch for SubsampleBuilder {
+    /// Absorbs the partial build covering the rows immediately after
+    /// `self`'s. Associative by construction; **not commutative** — row
+    /// order is part of the sample's identity, so non-adjacent or
+    /// out-of-order partials are refused.
+    fn merge(&mut self, other: Self) -> Result<(), MergeError> {
+        if other.dims != self.dims
+            || other.seed != self.seed
+            || other.params.sample_rows != self.params.sample_rows
+            || other.params.epsilon.to_bits() != self.params.epsilon.to_bits()
+        {
+            return Err(MergeError::Incompatible(format!(
+                "Subsample partials differ: dims {} vs {}, seed {:#x} vs {:#x}, s {} vs {}, \
+                 epsilon {} vs {}",
+                self.dims,
+                other.dims,
+                self.seed,
+                other.seed,
+                self.params.sample_rows,
+                other.params.sample_rows,
+                self.params.epsilon,
+                other.params.epsilon,
+            )));
+        }
+        let expected = self.offset + self.rows_seen;
+        if other.offset != expected {
+            return Err(MergeError::NonContiguous { expected, got: other.offset });
+        }
+        // `other`'s front rows are contiguous with our tail: replay them
+        // (possibly completing — and resolving — our pending chunk). Their
+        // global indices line up because fronts end exactly at the chunk
+        // boundary `other`'s back starts on.
+        let other_reached_back = other.front.len() == other.front_capacity();
+        for row in &other.front {
+            self.observe_row(row);
+        }
+        // `other`'s resolved winners come from strictly later chunks than
+        // anything we resolved: later wins.
+        for (mine, theirs) in self.slots.iter_mut().zip(other.slots) {
+            if theirs.is_some() {
+                *mine = theirs;
+            }
+        }
+        // Adopt `other`'s pending chunk and progress — but only if `other`
+        // actually reached its back region (filled its front): otherwise
+        // its `back_start` is still the speculative first boundary and all
+        // its rows were replayed above.
+        if other_reached_back {
+            if !other.back.is_empty() {
+                debug_assert!(
+                    self.back.is_empty(),
+                    "boundary stitching must have drained our back"
+                );
+                self.back = other.back;
+            }
+            if other.back_start > self.back_start {
+                self.back_start = other.back_start;
+            }
+        }
+        self.rows_seen += other.rows_seen - other.front.len() as u64;
+        Ok(())
     }
 }
 
@@ -260,6 +546,123 @@ mod tests {
                     }
                 }
             }
+        }
+    }
+
+    #[test]
+    fn streamed_build_is_bit_identical_to_one_shot() {
+        let mut rng = Rng64::seeded(40);
+        let db = generators::uniform(500, 16, 0.3, &mut rng);
+        let params = SubsampleParams { sample_rows: 37, epsilon: 0.1 };
+        let one_shot = Subsample::with_sample_count_seeded(&db, 37, 0.1, 0xFEED);
+        // The same rows streamed one by one through a builder.
+        let mut b = SubsampleBuilder::begin(db.dims(), 0xFEED, &params);
+        for r in 0..db.rows() {
+            b.observe_row(&db.row_itemset(r));
+        }
+        assert_eq!(b.rows_seen(), 500);
+        let streamed = b.finish();
+        assert_eq!(streamed.sample(), one_shot.sample(), "streamed sample diverged");
+    }
+
+    #[test]
+    fn merged_partial_builds_match_one_pass() {
+        let mut rng = Rng64::seeded(41);
+        let db = generators::uniform(400, 12, 0.4, &mut rng);
+        let params = SubsampleParams { sample_rows: 23, epsilon: 0.1 };
+        let one_shot = Subsample::with_sample_count_seeded(&db, 23, 0.1, 7);
+        for split in [1usize, 100, 399] {
+            let mut a = SubsampleBuilder::begin(db.dims(), 7, &params);
+            let mut b = SubsampleBuilder::begin_at(db.dims(), 7, &params, split as u64);
+            for r in 0..split {
+                a.observe_row(&db.row_itemset(r));
+            }
+            for r in split..db.rows() {
+                b.observe_row(&db.row_itemset(r));
+            }
+            a.merge(b).expect("contiguous partials merge");
+            assert_eq!(a.finish().sample(), one_shot.sample(), "split={split}");
+        }
+    }
+
+    #[test]
+    fn sharded_build_matches_serial_at_every_thread_count() {
+        let mut rng = Rng64::seeded(42);
+        let db = generators::uniform(900, 10, 0.5, &mut rng);
+        let serial = Subsample::with_sample_count_seeded(&db, 31, 0.2, 0xABCD);
+        for threads in [1usize, 2, 4] {
+            let sharded = Subsample::with_sample_count_sharded(&db, 31, 0.2, 0xABCD, threads);
+            assert_eq!(sharded.sample(), serial.sample(), "threads={threads}");
+        }
+    }
+
+    /// Streams larger than one ingest chunk exercise the mid-stream chunk
+    /// resolutions and the front/back stitching at real chunk boundaries —
+    /// both aligned and unaligned merge splits must reproduce the one-pass
+    /// fold, and so must the multi-chunk sharded build.
+    #[test]
+    fn chunk_boundary_crossings_stay_bit_identical() {
+        let n = 2 * INGEST_CHUNK_ROWS + 137;
+        let db = Database::from_fn(n, 6, |r, c| (r * 31 + c * 7) % 11 < 4);
+        let params = SubsampleParams { sample_rows: 9, epsilon: 0.1 };
+        let one_shot = Subsample::with_sample_count_seeded(&db, 9, 0.1, 0xC0DE);
+        for split in [
+            1usize,
+            INGEST_CHUNK_ROWS - 1,
+            INGEST_CHUNK_ROWS, // chunk-aligned: empty front on the tail partial
+            INGEST_CHUNK_ROWS + 1,
+            2 * INGEST_CHUNK_ROWS + 100,
+        ] {
+            let mut a = SubsampleBuilder::begin(db.dims(), 0xC0DE, &params);
+            let mut b = SubsampleBuilder::begin_at(db.dims(), 0xC0DE, &params, split as u64);
+            for r in 0..split {
+                a.observe_row(&db.row_itemset(r));
+            }
+            for r in split..n {
+                b.observe_row(&db.row_itemset(r));
+            }
+            a.merge(b).expect("contiguous partials merge");
+            assert_eq!(a.finish().sample(), one_shot.sample(), "split={split}");
+        }
+        for threads in [1usize, 3] {
+            let sharded = Subsample::with_sample_count_sharded(&db, 9, 0.1, 0xC0DE, threads);
+            assert_eq!(sharded.sample(), one_shot.sample(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn non_contiguous_merge_is_refused() {
+        let params = SubsampleParams { sample_rows: 5, epsilon: 0.1 };
+        let mut a = SubsampleBuilder::begin(4, 1, &params);
+        a.observe_row(&Itemset::singleton(0));
+        let b = SubsampleBuilder::begin_at(4, 1, &params, 10);
+        match a.merge(b) {
+            Err(crate::streaming::MergeError::NonContiguous { expected: 1, got: 10 }) => {}
+            other => panic!("expected NonContiguous refusal, got {other:?}"),
+        }
+        // Mismatched seeds are structural incompatibilities.
+        let c = SubsampleBuilder::begin_at(4, 2, &params, 1);
+        assert!(matches!(a.merge(c), Err(crate::streaming::MergeError::Incompatible(_))));
+    }
+
+    #[test]
+    fn sample_distribution_is_uniform_over_rows() {
+        // Rows are distinguishable singletons; with s samples of n rows the
+        // per-row hit count concentrates around s/n. This guards the
+        // chunked-reservoir math (replace probability m/(o+m), telescoping
+        // to 1/n per row) against off-by-one regressions.
+        let n = 64;
+        let db = Database::from_fn(n, n, |r, c| r == c);
+        let s = 6400;
+        let sketch = Subsample::with_sample_count_seeded(&db, s, 0.1, 0x77);
+        let mut hits = vec![0usize; n];
+        for r in 0..s {
+            let row = sketch.sample().row_itemset(r);
+            hits[row.items()[0] as usize] += 1;
+        }
+        let expected = s / n; // 100
+        for (row, &h) in hits.iter().enumerate() {
+            assert!((40..=180).contains(&h), "row {row} sampled {h} times, expected ~{expected}");
         }
     }
 

@@ -138,6 +138,22 @@ impl BitMatrix {
         out
     }
 
+    /// Appends `added` all-zero rows in place (the ingestion fast path:
+    /// [`crate::Database::append_rows`] grows the matrix, then sets the new
+    /// rows' bits; `words_per_row` is unchanged because the column count is).
+    pub fn push_zero_rows(&mut self, added: usize) {
+        self.rows += added;
+        self.data.resize(self.rows * self.words_per_row, 0);
+    }
+
+    /// Appends all rows of `other` in place — the in-place counterpart of
+    /// [`Self::vconcat`], used by the append ingestion path.
+    pub fn extend_rows(&mut self, other: &BitMatrix) {
+        assert_eq!(self.cols, other.cols, "extend_rows requires equal column counts");
+        self.rows += other.rows;
+        self.data.extend_from_slice(&other.data);
+    }
+
     /// Vertical concatenation: rows of `self` then rows of `other`.
     pub fn vconcat(&self, other: &BitMatrix) -> BitMatrix {
         assert_eq!(self.cols, other.cols, "vconcat requires equal column counts");
@@ -244,6 +260,39 @@ mod tests {
         assert_eq!(m.rows(), 5);
         assert_eq!(m.row_weight(0), 5);
         assert_eq!(m.row_weight(4), 0);
+    }
+
+    #[test]
+    fn push_zero_rows_then_set_matches_from_fn() {
+        let f = |r: usize, c: usize| (r * 7 + c).is_multiple_of(3);
+        let mut m = BitMatrix::from_fn(5, 70, f);
+        m.push_zero_rows(3);
+        assert_eq!(m.rows(), 8);
+        for r in 5..8 {
+            assert_eq!(m.row_weight(r), 0);
+            for c in 0..70 {
+                if f(r, c) {
+                    m.set(r, c, true);
+                }
+            }
+        }
+        assert_eq!(m, BitMatrix::from_fn(8, 70, f));
+    }
+
+    #[test]
+    fn extend_rows_matches_vconcat() {
+        let a = BitMatrix::from_fn(4, 67, |r, c| (r + c) % 2 == 0);
+        let b = BitMatrix::from_fn(3, 67, |r, c| (r * c) % 5 == 1);
+        let mut m = a.clone();
+        m.extend_rows(&b);
+        assert_eq!(m, a.vconcat(&b));
+    }
+
+    #[test]
+    #[should_panic(expected = "equal column counts")]
+    fn extend_rows_rejects_mismatched_cols() {
+        let mut a = BitMatrix::zeros(2, 4);
+        a.extend_rows(&BitMatrix::zeros(2, 5));
     }
 
     #[test]

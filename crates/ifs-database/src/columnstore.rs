@@ -57,6 +57,39 @@ impl ColumnStore {
         Self { rows, dims, words_per_col, words }
     }
 
+    /// Appends `rows` (given as attribute-index sets) to the tid-sets in
+    /// place — the ingestion fast path (DESIGN.md §9).
+    ///
+    /// The store keeps its exact layout invariant: after the append it is
+    /// **bit-identical** (`==`) to `ColumnStore::build` of the extended
+    /// matrix. When the new row count needs more words per tid-set, every
+    /// column is copied once into the wider stride — an `O(d·n/64)` word
+    /// memcpy, far cheaper than the `O(n·d)` bit-scatter of a fresh
+    /// transpose — and otherwise only the new rows' bits are set.
+    pub fn append_rows(&mut self, rows: &[Itemset]) {
+        let new_rows = self.rows + rows.len();
+        let new_wpc = bits::words_for(new_rows).max(1);
+        if new_wpc != self.words_per_col {
+            let mut wider = vec![0u64; self.dims * new_wpc];
+            for c in 0..self.dims {
+                wider[c * new_wpc..c * new_wpc + self.words_per_col].copy_from_slice(
+                    &self.words[c * self.words_per_col..(c + 1) * self.words_per_col],
+                );
+            }
+            self.words = wider;
+            self.words_per_col = new_wpc;
+        }
+        for (i, row) in rows.iter().enumerate() {
+            let local = self.rows + i;
+            for &c in row.items() {
+                let c = c as usize;
+                assert!(c < self.dims, "item {c} out of range for {} columns", self.dims);
+                self.words[c * self.words_per_col + local / 64] |= 1u64 << (local % 64);
+            }
+        }
+        self.rows = new_rows;
+    }
+
     /// Number of rows `n` of the source matrix.
     pub fn rows(&self) -> usize {
         self.rows
@@ -302,6 +335,35 @@ mod tests {
         }
         let empty = ColumnStore::build(Database::zeros(0, 4).matrix());
         assert_eq!(empty.frequency_batch_with_threads(&queries, 4), vec![0.0; queries.len()]);
+    }
+
+    /// Append maintenance must reproduce a fresh transpose bit for bit —
+    /// same stride, same words — across word-boundary row counts.
+    #[test]
+    fn append_rows_is_bit_identical_to_rebuild() {
+        let mut rng = ifs_util::Rng64::seeded(0xA11D);
+        for base in [0usize, 1, 63, 64, 65, 130] {
+            for added in [0usize, 1, 5, 64, 129] {
+                let d = 10;
+                let db = Database::from_fn(base + added, d, |_, _| rng.bernoulli(0.4));
+                let head = Database::from_fn(base, d, |r, c| db.get(r, c));
+                let mut store = ColumnStore::build(head.matrix());
+                let tail: Vec<Itemset> = (base..base + added).map(|r| db.row_itemset(r)).collect();
+                store.append_rows(&tail);
+                assert_eq!(
+                    store,
+                    ColumnStore::build(db.matrix()),
+                    "append diverged from rebuild at base={base} added={added}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn append_rows_rejects_out_of_range_items() {
+        let mut store = ColumnStore::build(toy().matrix());
+        store.append_rows(&[Itemset::singleton(5)]);
     }
 
     #[test]

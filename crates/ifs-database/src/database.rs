@@ -17,8 +17,10 @@ use std::sync::OnceLock;
 /// ([`Database::sharded_columns`]), serves the multi-threaded batch paths
 /// (DESIGN.md §8) with answers bit-identical to the serial store. Identity
 /// (`Eq`, `Debug`, serialization) is defined by the matrix alone; both
-/// caches are derived views and are invalidated by
-/// [`Database::matrix_mut`].
+/// caches are derived views. Two mutation paths exist: the append fast
+/// path ([`Database::append_rows`], DESIGN.md §9) extends warm caches **in
+/// place**, and arbitrary cell mutation ([`Database::matrix_mut`]) drops
+/// them for a full rebuild.
 pub struct Database {
     matrix: BitMatrix,
     columns: OnceLock<ColumnStore>,
@@ -105,15 +107,85 @@ impl Database {
     /// Drops every cached columnar view (serial *and* sharded): the caller
     /// may change cells, and the next [`Database::columns`] /
     /// [`Database::sharded_columns`] call rebuilds the transpose from
-    /// scratch. This is the **only** mutation path — constructors and
-    /// derivations (`select_rows`, `stack`, serialization round-trips, the
-    /// generators) all produce fresh `Database` values with cold caches, so
-    /// a stale view cannot be served (regression-tested in
+    /// scratch. This is the only **arbitrary** mutation path — row appends
+    /// go through [`Database::append_rows`], which maintains warm caches in
+    /// place instead of dropping them, and constructors and derivations
+    /// (`select_rows`, `stack`, serialization round-trips, the generators)
+    /// all produce fresh `Database` values with cold caches, so a stale
+    /// view cannot be served (regression-tested in
     /// `caches_never_serve_stale_views`).
     pub fn matrix_mut(&mut self) -> &mut BitMatrix {
         self.columns.take();
         self.sharded.take();
         &mut self.matrix
+    }
+
+    /// Appends rows (given as attribute-index sets) in place — the
+    /// streaming-ingestion fast path (DESIGN.md §9).
+    ///
+    /// Every row is validated **before** anything is mutated: an item `≥ d`
+    /// panics with the offending row index, item, and the database's
+    /// attribute count (construction-time shape validation alone would let
+    /// a malformed ingest batch corrupt the matrix half-applied).
+    ///
+    /// Warm columnar views are *extended*, not invalidated: the serial
+    /// [`ColumnStore`] grows its tid-words and the [`ShardedColumnStore`]
+    /// extends its ragged tail shard in place, so an ingest-then-query loop
+    /// stops paying a full re-transpose per batch. Both maintained views
+    /// are bit-identical to a cold rebuild (enforced by
+    /// `tests/streaming_builds.rs`); cold views simply stay cold.
+    pub fn append_rows(&mut self, rows: &[Itemset]) {
+        let d = self.dims();
+        for (i, row) in rows.iter().enumerate() {
+            if let Some(m) = row.max_item() {
+                assert!(
+                    (m as usize) < d,
+                    "appended row {i} has item {m}, out of range for a database with {d} columns"
+                );
+            }
+        }
+        let base = self.matrix.rows();
+        self.matrix.push_zero_rows(rows.len());
+        for (i, row) in rows.iter().enumerate() {
+            for &c in row.items() {
+                self.matrix.set(base + i, c as usize, true);
+            }
+        }
+        if let Some(store) = self.columns.get_mut() {
+            store.append_rows(rows);
+        }
+        if let Some(store) = self.sharded.get_mut() {
+            store.append_rows(rows);
+        }
+    }
+
+    /// Appends all rows of `other` in place, maintaining warm caches like
+    /// [`Database::append_rows`].
+    ///
+    /// The batch must have the same attribute count: a column-count
+    /// mismatch panics with both widths (shape bugs surface at the append
+    /// site, not as silently misaligned columns).
+    pub fn append_database(&mut self, other: &Database) {
+        assert_eq!(
+            other.dims(),
+            self.dims(),
+            "cannot append rows with {} columns to a database with {} columns",
+            other.dims(),
+            self.dims()
+        );
+        // The matrix halves share a layout, so the rows always extend as
+        // one word memcpy; only the warm tid-set views need the appended
+        // rows in itemset form.
+        if self.has_column_cache() || self.has_sharded_cache() {
+            let rows: Vec<Itemset> = (0..other.rows()).map(|r| other.row_itemset(r)).collect();
+            if let Some(store) = self.columns.get_mut() {
+                store.append_rows(&rows);
+            }
+            if let Some(store) = self.sharded.get_mut() {
+                store.append_rows(&rows);
+            }
+        }
+        self.matrix.extend_rows(other.matrix());
     }
 
     /// The columnar (tid-set) view of this database, built on first use and
@@ -496,6 +568,79 @@ mod tests {
         let probe = Itemset::new(vec![1, 2]);
         assert_eq!(gen.columns().support(&probe), fresh.columns().support(&probe));
         assert_eq!(gen.sharded_columns(2).support(&probe), fresh.support(&probe));
+    }
+
+    /// The append fast path: warm views are extended in place (never
+    /// dropped) and stay bit-identical to a cold rebuild of the extended
+    /// matrix.
+    #[test]
+    fn append_rows_maintains_warm_caches_in_place() {
+        let mut db = toy();
+        let t = Itemset::new(vec![1, 2]);
+        assert_eq!(db.columns().support(&t), 2);
+        assert_eq!(db.sharded_columns(2).support(&t), 2);
+        db.append_rows(&[Itemset::new(vec![1, 2, 4]), Itemset::empty()]);
+        assert!(db.has_column_cache(), "append must not drop the serial view");
+        assert!(db.has_sharded_cache(), "append must not drop the sharded view");
+        assert_eq!(db.rows(), 6);
+        let fresh = Database::from_matrix(db.matrix().clone());
+        assert_eq!(db.columns(), fresh.columns());
+        assert_eq!(db.sharded_columns(1), fresh.sharded_columns(1));
+        assert_eq!(db.support(&t), 3);
+        assert_eq!(db.frequencies(std::slice::from_ref(&t)), vec![0.5]);
+        assert_eq!(db.row_itemset(5), Itemset::empty());
+    }
+
+    #[test]
+    fn append_rows_on_cold_caches_stays_cold() {
+        let mut db = toy();
+        db.append_rows(&[Itemset::singleton(0)]);
+        assert!(!db.has_column_cache() && !db.has_sharded_cache());
+        assert_eq!(db.rows(), 5);
+        assert_eq!(db.support(&Itemset::singleton(0)), 3);
+    }
+
+    #[test]
+    #[should_panic(
+        expected = "appended row 1 has item 9, out of range for a database with 5 columns"
+    )]
+    fn append_rows_rejects_out_of_range_items_before_mutating() {
+        let mut db = toy();
+        db.append_rows(&[Itemset::singleton(0), Itemset::new(vec![2, 9])]);
+    }
+
+    #[test]
+    fn append_rows_validates_before_mutating() {
+        let mut db = toy();
+        let before = db.clone();
+        let bad = [Itemset::singleton(0), Itemset::singleton(5)];
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            db.append_rows(&bad);
+        }));
+        assert!(result.is_err());
+        assert_eq!(db, before, "a rejected batch must leave the database untouched");
+    }
+
+    #[test]
+    fn append_database_matches_stack() {
+        let a = toy();
+        let b = Database::from_rows(5, &[vec![0, 4], vec![]]);
+        let mut warm = a.clone();
+        let _ = warm.columns();
+        let _ = warm.sharded_columns(2);
+        warm.append_database(&b);
+        assert_eq!(warm, a.stack(&b));
+        let mut cold = a.clone();
+        cold.append_database(&b);
+        assert_eq!(cold, a.stack(&b));
+        assert!(!cold.has_column_cache());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot append rows with 4 columns to a database with 5 columns")]
+    fn append_database_rejects_column_mismatch() {
+        let mut db = toy();
+        db.append_database(&Database::zeros(2, 4));
     }
 
     #[test]

@@ -76,6 +76,31 @@ impl ShardedColumnStore {
         Self { rows, dims, shard_rows, shards }
     }
 
+    /// Appends `rows` (attribute-index sets) in place — the ingestion fast
+    /// path (DESIGN.md §9): the ragged tail shard is extended up to its
+    /// `shard_rows` capacity via [`ColumnStore::append_rows`], and overflow
+    /// opens fresh tail shards. Because the shard layout is a function of
+    /// the row count alone, the result is **bit-identical** (`==`) to
+    /// rebuilding the store over the extended matrix; earlier shards are
+    /// never touched, so an append costs `O(batch)` instead of the full
+    /// re-transpose.
+    pub fn append_rows(&mut self, rows: &[Itemset]) {
+        let mut next = 0;
+        while next < rows.len() {
+            let fill = self.rows % self.shard_rows;
+            if fill == 0 && self.rows == self.shard_rows * self.shards.len() {
+                // Tail shard is full (or the store is empty): open a new one.
+                let empty = crate::BitMatrix::zeros(0, self.dims);
+                self.shards.push(ColumnStore::build(&empty));
+            }
+            let capacity = self.shard_rows - self.shards.last().expect("tail shard").rows();
+            let take = capacity.min(rows.len() - next);
+            self.shards.last_mut().expect("tail shard").append_rows(&rows[next..next + take]);
+            self.rows += take;
+            next += take;
+        }
+    }
+
     /// Number of rows `n` of the source matrix.
     pub fn rows(&self) -> usize {
         self.rows
@@ -258,6 +283,45 @@ mod tests {
     #[should_panic(expected = "multiple of 64")]
     fn rejects_unaligned_shard_size() {
         ShardedColumnStore::build_with_shard_rows(Database::zeros(10, 4).matrix(), 100, 1);
+    }
+
+    /// Append maintenance must reproduce a fresh sharded build bit for bit
+    /// (`Eq` covers shard boundaries, strides, and every tid word) across
+    /// batch sizes that leave ragged tails, exactly fill a shard, and spill
+    /// over several shards.
+    #[test]
+    fn append_rows_is_bit_identical_to_rebuild() {
+        let shard_rows = 64;
+        let db = random_db(700, 12, 0.35, 0xAB5E);
+        let rows: Vec<Itemset> = (0..db.rows()).map(|r| db.row_itemset(r)).collect();
+        for split in [0usize, 1, 63, 64, 65, 300] {
+            let head = Database::from_fn(split, 12, |r, c| db.get(r, c));
+            let mut store = ShardedColumnStore::build_with_shard_rows(head.matrix(), shard_rows, 2);
+            // Feed the remainder in uneven batches so tail shards are
+            // extended, exactly filled, and overflowed.
+            let mut next = split;
+            for batch in [1usize, 62, 64, 65, 200, usize::MAX] {
+                let end = next.saturating_add(batch).min(rows.len());
+                store.append_rows(&rows[next..end]);
+                next = end;
+            }
+            assert_eq!(
+                store,
+                ShardedColumnStore::build_with_shard_rows(db.matrix(), shard_rows, 2),
+                "append diverged from rebuild at split={split}"
+            );
+        }
+    }
+
+    #[test]
+    fn append_to_empty_store_opens_shards() {
+        let db = random_db(130, 6, 0.5, 0xE21);
+        let mut store =
+            ShardedColumnStore::build_with_shard_rows(Database::zeros(0, 6).matrix(), 64, 1);
+        assert_eq!(store.shard_count(), 0);
+        store.append_rows(&(0..db.rows()).map(|r| db.row_itemset(r)).collect::<Vec<_>>());
+        assert_eq!(store, ShardedColumnStore::build_with_shard_rows(db.matrix(), 64, 1));
+        assert_eq!(store.shard_count(), 3);
     }
 
     #[test]

@@ -14,6 +14,33 @@ use crate::StreamCounter;
 use ifs_database::{Database, Itemset};
 use ifs_util::combin;
 
+/// Feeds every `k`-itemset of one arriving row into `counter`, up to
+/// `per_row_budget` itemsets (enumeration order: colex over the row's own
+/// items). Returns `true` if the row was truncated by the budget.
+///
+/// This is the single-row fold step shared by [`feed_rows`] and the
+/// [`crate::fold`] builders, so batch and streaming ingestion update
+/// counters in exactly the same order.
+pub fn feed_row<C: StreamCounter<u64>>(
+    row: &Itemset,
+    k: usize,
+    counter: &mut C,
+    per_row_budget: usize,
+) -> bool {
+    let items = row.items();
+    if items.len() < k {
+        return false;
+    }
+    for (emitted, combo) in combin::Combinations::new(items.len() as u32, k as u32).enumerate() {
+        if emitted >= per_row_budget {
+            return true;
+        }
+        let itemset: Itemset = combo.iter().map(|&i| items[i as usize]).collect();
+        counter.update(itemset.colex_rank());
+    }
+    false
+}
+
 /// Feeds every `k`-itemset of each database row into `counter`, up to
 /// `per_row_budget` itemsets per row (enumeration order: colex over the
 /// row's own items). Returns the number of truncated rows.
@@ -23,24 +50,7 @@ pub fn feed_rows<C: StreamCounter<u64>>(
     counter: &mut C,
     per_row_budget: usize,
 ) -> usize {
-    let mut truncated = 0;
-    for r in 0..db.rows() {
-        let row = db.row_itemset(r);
-        let items = row.items();
-        if items.len() < k {
-            continue;
-        }
-        for (emitted, combo) in combin::Combinations::new(items.len() as u32, k as u32).enumerate()
-        {
-            if emitted >= per_row_budget {
-                truncated += 1;
-                break;
-            }
-            let itemset: Itemset = combo.iter().map(|&i| items[i as usize]).collect();
-            counter.update(itemset.colex_rank());
-        }
-    }
-    truncated
+    (0..db.rows()).filter(|&r| feed_row(&db.row_itemset(r), k, counter, per_row_budget)).count()
 }
 
 /// Estimated frequency of an itemset from a row-fed counter: the counter

@@ -9,11 +9,12 @@
 //! the streaming experiment.
 
 use crate::StreamCounter;
+use ifs_core::streaming::{MergeError, MergeableSketch};
 use ifs_util::StableHasher;
 use std::hash::{Hash, Hasher};
 
 /// Count-Min sketch over any hashable item type.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct CountMinSketch<T> {
     width: usize,
     depth: usize,
@@ -58,6 +59,40 @@ impl<T: Hash> CountMinSketch<T> {
         let mut h = StableHasher::seeded(self.seeds[row]);
         item.hash(&mut h);
         row * self.width + (h.finish() as usize % self.width)
+    }
+}
+
+/// Counter-wise merge (DESIGN.md §9): a plain Count-Min over stream A ⧺ B
+/// is the cell-wise sum of the sketches over A and B, so merging is
+/// **commutative** and associative and bit-identical to one-pass updating.
+///
+/// Two refusals guard the contract: structurally different sketches
+/// (width, depth, or hash seeds — identical `seeds` is what makes cell-wise
+/// addition meaningful) are [`MergeError::Incompatible`], and sketches with
+/// **conservative update** are [`MergeError::Unmergeable`] — conservative
+/// increments depend on the counter state at each arrival, so the sum of
+/// two conservatively-updated halves is *not* the conservatively-updated
+/// whole, and pretending otherwise would silently change estimates.
+impl<T: Hash> MergeableSketch for CountMinSketch<T> {
+    fn merge(&mut self, other: Self) -> Result<(), MergeError> {
+        if other.width != self.width || other.depth != self.depth || other.seeds != self.seeds {
+            return Err(MergeError::Incompatible(format!(
+                "Count-Min shapes differ: {}x{} vs {}x{} (or unequal hash seeds)",
+                self.depth, self.width, other.depth, other.width
+            )));
+        }
+        if self.conservative || other.conservative {
+            return Err(MergeError::Unmergeable(
+                "conservative update is order- and state-dependent; merged counters would not \
+                 equal a one-pass conservative build"
+                    .into(),
+            ));
+        }
+        for (mine, theirs) in self.counters.iter_mut().zip(other.counters) {
+            *mine += theirs;
+        }
+        self.len += other.len;
+        Ok(())
     }
 }
 
@@ -165,6 +200,35 @@ mod tests {
     fn size_accounting() {
         let cm = CountMinSketch::<u32>::new(100, 5, false, 1);
         assert_eq!(cm.size_bits(), 100 * 5 * 64);
+    }
+
+    /// Plain Count-Min merges counter-wise: split the stream anywhere, and
+    /// the merged halves equal the one-pass sketch cell for cell (in either
+    /// merge order); conservative update refuses.
+    #[test]
+    fn merge_is_bit_identical_to_one_pass() {
+        use ifs_core::streaming::{MergeError, MergeableSketch};
+        let mut rng = Rng64::seeded(0x3E6);
+        let stream: Vec<u32> = (0..4000).map(|_| rng.below(600) as u32).collect();
+        let mut whole = CountMinSketch::new(64, 4, false, 11);
+        let mut a = CountMinSketch::new(64, 4, false, 11);
+        let mut b = CountMinSketch::new(64, 4, false, 11);
+        for (i, &x) in stream.iter().enumerate() {
+            whole.update(x);
+            if i < 1234 { &mut a } else { &mut b }.update(x);
+        }
+        let (mut ab, mut ba) = (a.clone(), b.clone());
+        ab.merge(b).expect("same-shape sketches merge");
+        ba.merge(a).expect("counter merge commutes");
+        assert_eq!(ab, whole);
+        assert_eq!(ba, whole, "merge must be commutative");
+        assert_eq!(ab.stream_len(), 4000);
+
+        let mut wrong_seed = CountMinSketch::<u32>::new(64, 4, false, 12);
+        assert!(matches!(wrong_seed.merge(whole), Err(MergeError::Incompatible(_))));
+        let mut cons = CountMinSketch::<u32>::new(64, 4, true, 11);
+        let cons2 = CountMinSketch::<u32>::new(64, 4, true, 11);
+        assert!(matches!(cons.merge(cons2), Err(MergeError::Unmergeable(_))));
     }
 
     /// Golden regression: bucket placement must be identical on every

@@ -7,11 +7,12 @@
 //! to Count-Min's L1 guarantee.
 
 use crate::StreamCounter;
+use ifs_core::streaming::{MergeError, MergeableSketch};
 use ifs_util::StableHasher;
 use std::hash::{Hash, Hasher};
 
 /// Count-Sketch over any hashable item type.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct CountSketch<T> {
     width: usize,
     depth: usize,
@@ -61,6 +62,26 @@ impl<T: Hash> CountSketch<T> {
             .collect();
         vals.sort_unstable();
         vals[vals.len() / 2]
+    }
+}
+
+/// Counter-wise merge (DESIGN.md §9): signed updates are linear, so the
+/// Count-Sketch of stream A ⧺ B is the cell-wise sum of the sketches over A
+/// and B — merging is **commutative** and associative and bit-identical to
+/// one-pass updating. Sketches with different shapes or hash seeds refuse.
+impl<T: Hash> MergeableSketch for CountSketch<T> {
+    fn merge(&mut self, other: Self) -> Result<(), MergeError> {
+        if other.width != self.width || other.depth != self.depth || other.seeds != self.seeds {
+            return Err(MergeError::Incompatible(format!(
+                "Count-Sketch shapes differ: {}x{} vs {}x{} (or unequal hash seeds)",
+                self.depth, self.width, other.depth, other.width
+            )));
+        }
+        for (mine, theirs) in self.counters.iter_mut().zip(other.counters) {
+            *mine += theirs;
+        }
+        self.len += other.len;
+        Ok(())
     }
 }
 
@@ -152,6 +173,29 @@ mod tests {
             cs.update("x");
         }
         assert_eq!(cs.estimate(&"x"), 50);
+    }
+
+    /// Signed updates are linear, so merged stream halves equal the
+    /// one-pass sketch cell for cell; mismatched seeds refuse.
+    #[test]
+    fn merge_is_bit_identical_to_one_pass() {
+        use ifs_core::streaming::{MergeError, MergeableSketch};
+        let mut rng = Rng64::seeded(0x3E7);
+        let stream: Vec<u32> = (0..3000).map(|_| rng.below(400) as u32).collect();
+        let mut whole = CountSketch::new(64, 3, 21);
+        let mut a = CountSketch::new(64, 3, 21);
+        let mut b = CountSketch::new(64, 3, 21);
+        for (i, &x) in stream.iter().enumerate() {
+            whole.update(x);
+            if i % 2 == 0 { &mut a } else { &mut b }.update(x);
+        }
+        let (mut ab, mut ba) = (a.clone(), b.clone());
+        ab.merge(b).expect("same-shape sketches merge");
+        ba.merge(a).expect("counter merge commutes");
+        assert_eq!(ab, whole);
+        assert_eq!(ba, whole, "merge must be commutative");
+        let mut wrong_shape = CountSketch::<u32>::new(32, 3, 21);
+        assert!(matches!(wrong_shape.merge(whole), Err(MergeError::Incompatible(_))));
     }
 
     /// Golden regression: bucket/sign placement under the in-tree

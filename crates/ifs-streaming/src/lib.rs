@@ -17,6 +17,12 @@
 //! * [`adapter`] — row streams → itemset streams: every `k`-itemset of each
 //!   arriving row is fed to a heavy-hitter structure, which is the standard
 //!   (and costly: `C(|row|, k)` updates per row) reduction.
+//! * [`fold`] — the row-level fold-and-merge builders (DESIGN.md §9):
+//!   [`CountMinFold`] / [`CountSketchFold`] implement the
+//!   `ifs_core::streaming` contracts over the reduction above, with
+//!   counter-wise (commutative) merges; plain [`CountMinSketch`] and
+//!   [`CountSketch`] also merge directly, while conservative-update
+//!   Count-Min refuses (state-dependent, inherently one-pass).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -24,12 +30,14 @@
 pub mod adapter;
 mod count_min;
 mod count_sketch;
+pub mod fold;
 mod lossy;
 mod misra_gries;
 mod space_saving;
 
 pub use count_min::CountMinSketch;
 pub use count_sketch::CountSketch;
+pub use fold::{CountMinFold, CountMinFoldParams, CountSketchFold, CountSketchFoldParams};
 pub use lossy::LossyCounting;
 pub use misra_gries::MisraGries;
 pub use space_saving::SpaceSaving;

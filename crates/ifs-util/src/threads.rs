@@ -24,23 +24,33 @@ pub fn clamp_threads(threads: usize) -> usize {
     threads.clamp(1, MAX_THREADS)
 }
 
+/// Parses an `IFS_THREADS` value, clamping it like [`clamp_threads`].
+///
+/// A value that does not parse **panics**, and the message names the
+/// offending value and the accepted range: silently falling back to serial
+/// would skip exactly the configuration the knob exists to test, and a bare
+/// parse error would leave the operator hunting for which variable was
+/// malformed.
+pub fn parse_threads(value: &str) -> usize {
+    match value.trim().parse::<usize>() {
+        Ok(n) => clamp_threads(n),
+        Err(_) => panic!(
+            "IFS_THREADS must be an integer in 0..={MAX_THREADS} (0 means serial), \
+             got {value:?} — unset it to default to 1 thread"
+        ),
+    }
+}
+
 /// The thread count requested via the `IFS_THREADS` environment variable,
 /// defaulting to 1 (serial) when unset.
 ///
 /// The integration suites build their sketches and miners with this value,
 /// so CI can run the same tests under `IFS_THREADS=1` and `IFS_THREADS=4`
 /// and enforce the determinism contract on every push. A value that is set
-/// but not a number **panics**: silently falling back to serial would skip
-/// exactly the configuration the knob exists to test.
+/// but malformed panics via [`parse_threads`].
 pub fn env_threads() -> usize {
     match std::env::var("IFS_THREADS") {
-        Ok(v) => match v.trim().parse::<usize>() {
-            Ok(n) => clamp_threads(n),
-            Err(_) => panic!(
-                "IFS_THREADS must be a non-negative integer, got {v:?} \
-                 (unset it to default to 1 thread)"
-            ),
-        },
+        Ok(v) => parse_threads(&v),
         Err(_) => 1,
     }
 }
@@ -109,6 +119,28 @@ mod tests {
         // developer exports it the value must still be clamped and sane.
         let t = env_threads();
         assert!((1..=MAX_THREADS).contains(&t));
+    }
+
+    #[test]
+    fn parse_accepts_integers_and_clamps() {
+        assert_eq!(parse_threads("0"), 1);
+        assert_eq!(parse_threads(" 4 "), 4);
+        assert_eq!(parse_threads("999999"), MAX_THREADS);
+    }
+
+    /// The panic message must name the offending value and the accepted
+    /// range, so a malformed `IFS_THREADS` in CI is diagnosable from the
+    /// failure output alone.
+    #[test]
+    #[should_panic(expected = "in 0..=256 (0 means serial), got \"soup\"")]
+    fn parse_panic_names_value_and_range() {
+        parse_threads("soup");
+    }
+
+    #[test]
+    #[should_panic(expected = "got \"-3\"")]
+    fn parse_rejects_negative_values() {
+        parse_threads("-3");
     }
 
     #[test]

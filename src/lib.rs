@@ -19,7 +19,12 @@
 //!   dense linear algebra ([`linalg`]), Reed–Solomon/concatenated codes
 //!   ([`codes`]), and a simplex LP solver ([`solver`]);
 //! * the mining and streaming consumers the paper positions itself against
-//!   ([`mining`], [`streaming`]).
+//!   ([`mining`], [`streaming`]);
+//! * the streaming-ingestion layer (DESIGN.md §9): every sketch build is a
+//!   single-pass fold (`core::streaming`), partial builds merge
+//!   bit-identically to one-shot builds, and `Database::append_rows`
+//!   extends the cached columnar views in place so an ingest-then-query
+//!   loop never re-transposes.
 //!
 //! ## Quickstart
 //!
@@ -56,8 +61,9 @@ pub use ifs_util as util;
 pub mod prelude {
     pub use ifs_core::{
         boosting::MedianBoost, EstimatorAsIndicator, FrequencyEstimator, FrequencyIndicator,
-        Guarantee, Parallel, ReleaseAnswersEstimator, ReleaseAnswersIndicator, ReleaseDb, Sketch,
-        SketchParams, Subsample,
+        Guarantee, MergeError, MergeableSketch, Parallel, ReleaseAnswersEstimator,
+        ReleaseAnswersIndicator, ReleaseDb, ReleaseDbBuilder, Sketch, SketchParams, StreamingBuild,
+        Subsample, SubsampleBuilder, SubsampleParams,
     };
     pub use ifs_database::{generators, ColumnStore, Database, Itemset, ShardedColumnStore};
     pub use ifs_util::Rng64;
