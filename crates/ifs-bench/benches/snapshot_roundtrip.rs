@@ -1,0 +1,188 @@
+//! Criterion: snapshot codec throughput — encode/decode MB/s per sketch,
+//! plus the `size_bits == encoded length` invariant (DESIGN.md §10).
+//!
+//! Every sketch's `size_bits()` is now the length of its snapshot
+//! encoding, so this bench is both a performance measurement (can the
+//! offline-build / online-serve split afford to ship snapshots?) and the
+//! standing proof that the measurement is real: the smoke pass asserts,
+//! for every sketch type, that decode(encode(s)) == s and that
+//! `size_bits()` equals the byte length × 8.
+//!
+//! The gate emits `bench_results/BENCH_snapshot.json` (bytes per sketch,
+//! `size_bits`, encode/decode MB/s) so snapshot sizes and codec throughput
+//! stay machine-readable across PRs, next to `BENCH_ingest.json`.
+//!
+//! Run with `cargo bench -p ifs-bench --bench snapshot_roundtrip`; under
+//! `cargo test --benches` each body runs once as a smoke test.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ifs_core::snapshot::Snapshot;
+use ifs_core::{ReleaseAnswersEstimator, ReleaseAnswersIndicator, ReleaseDb, Subsample};
+use ifs_database::generators;
+use ifs_streaming::{CountMinSketch, CountSketch, StreamCounter};
+use ifs_util::Rng64;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Full scale in release; the debug smoke pass shrinks the database (the
+/// identities are scale-free, and codec MB/s in debug mode is not a number
+/// anyone should read).
+const TOTAL_ROWS: usize = if cfg!(debug_assertions) { 10_000 } else { 100_000 };
+const DIMS: usize = 128;
+const SAMPLE_ROWS: usize = 4_000;
+const SEED: u64 = 0x5A47;
+
+/// One sketch's measurements for the JSON artifact.
+struct Entry {
+    name: &'static str,
+    bytes: usize,
+    size_bits: u64,
+    encode_mbps: f64,
+    decode_mbps: f64,
+}
+
+/// Times `iters` encode and decode passes of `sketch`, asserting the
+/// round-trip identity and the measured-size invariant on the way.
+fn measure<S>(name: &'static str, sketch: &S, size_bits: u64, iters: usize) -> Entry
+where
+    S: Snapshot + PartialEq + std::fmt::Debug,
+{
+    let bytes = sketch.snapshot_bytes();
+    assert_eq!(
+        size_bits,
+        bytes.len() as u64 * 8,
+        "{name}: size_bits must equal the encoded length in bits"
+    );
+    let decoded = S::from_snapshot(&bytes).unwrap_or_else(|e| panic!("{name}: decode failed: {e}"));
+    assert!(&decoded == sketch, "{name}: decode(encode(sketch)) != sketch");
+
+    let t = Instant::now();
+    for _ in 0..iters {
+        black_box(sketch.snapshot_bytes().len());
+    }
+    let encode = t.elapsed().as_secs_f64().max(1e-12);
+    let t = Instant::now();
+    for _ in 0..iters {
+        black_box(S::from_snapshot(black_box(&bytes)).expect("roundtrip").snapshot_bits());
+    }
+    // from_snapshot + snapshot_bits re-encodes; subtract one encode pass to
+    // keep the decode figure honest.
+    let decode = (t.elapsed().as_secs_f64() - encode).max(encode / 100.0);
+    let mb = (bytes.len() * iters) as f64 / (1024.0 * 1024.0);
+    Entry {
+        name,
+        bytes: bytes.len(),
+        size_bits,
+        encode_mbps: mb / encode,
+        decode_mbps: mb / decode,
+    }
+}
+
+/// The sketch zoo every pass measures: all six snapshot-backed sketches
+/// over one planted workload.
+#[allow(clippy::type_complexity)]
+fn build_zoo() -> (
+    Subsample,
+    ReleaseDb,
+    ReleaseAnswersIndicator,
+    ReleaseAnswersEstimator,
+    CountMinSketch<u32>,
+    CountSketch<u32>,
+) {
+    let mut rng = Rng64::seeded(SEED);
+    let db = generators::uniform(TOTAL_ROWS, DIMS, 0.15, &mut rng);
+    let sub = Subsample::with_sample_count_seeded(&db, SAMPLE_ROWS, 0.05, SEED);
+    let rdb = ReleaseDb::build(&db, 0.1);
+    let small = generators::uniform(TOTAL_ROWS / 10, 24, 0.3, &mut rng);
+    let ind = ReleaseAnswersIndicator::build(&small, 2, 0.1);
+    let est = ReleaseAnswersEstimator::build(&small, 2, 0.05);
+    let mut cm = CountMinSketch::new(2048, 4, false, SEED);
+    let mut cs = CountSketch::new(2048, 3, SEED);
+    for _ in 0..50_000 {
+        let x = rng.below(5_000) as u32;
+        cm.update(x);
+        cs.update(x);
+    }
+    (sub, rdb, ind, est, cm, cs)
+}
+
+fn bench_codec_paths(c: &mut Criterion) {
+    let (sub, rdb, ..) = build_zoo();
+    let sub_bytes = sub.snapshot_bytes();
+    let rdb_bytes = rdb.snapshot_bytes();
+    let mut g = c.benchmark_group("snapshot_roundtrip");
+    g.sample_size(10);
+    g.throughput(Throughput::Bytes(rdb_bytes.len() as u64));
+    g.bench_function("encode_release_db", |b| b.iter(|| black_box(rdb.snapshot_bytes().len())));
+    g.bench_function("decode_release_db", |b| {
+        b.iter(|| black_box(ReleaseDb::from_snapshot(black_box(&rdb_bytes)).expect("decode")))
+    });
+    g.throughput(Throughput::Bytes(sub_bytes.len() as u64));
+    g.bench_function("encode_subsample", |b| b.iter(|| black_box(sub.snapshot_bytes().len())));
+    g.bench_function("decode_subsample", |b| {
+        b.iter(|| black_box(Subsample::from_snapshot(black_box(&sub_bytes)).expect("decode")))
+    });
+    g.finish();
+}
+
+/// The identity-and-measurement gate: every sketch round-trips `==`, its
+/// `size_bits()` is the encoded length, and the per-sketch numbers land in
+/// `BENCH_snapshot.json` — on every CI run via the smoke pass.
+fn bench_measurement_gate(c: &mut Criterion) {
+    let (sub, rdb, ind, est, cm, cs) = build_zoo();
+    let iters = if cfg!(debug_assertions) { 3 } else { 20 };
+    let entries = [
+        measure("subsample", &sub, ifs_core::Sketch::size_bits(&sub), iters),
+        measure("release_db", &rdb, ifs_core::Sketch::size_bits(&rdb), iters),
+        measure("release_answers_indicator", &ind, ifs_core::Sketch::size_bits(&ind), iters),
+        measure("release_answers_estimator", &est, ifs_core::Sketch::size_bits(&est), iters),
+        measure("count_min", &cm, StreamCounter::size_bits(&cm), iters),
+        measure("count_sketch", &cs, StreamCounter::size_bits(&cs), iters),
+    ];
+    for e in &entries {
+        println!(
+            "snapshot_roundtrip: {:<26} {:>9} bytes ({} bits) encode {:>8.1} MB/s decode \
+             {:>8.1} MB/s",
+            e.name, e.bytes, e.size_bits, e.encode_mbps, e.decode_mbps
+        );
+    }
+    write_bench_json(&entries);
+
+    let mut g = c.benchmark_group("snapshot_roundtrip_gate");
+    g.bench_function("noop", |b| b.iter(|| black_box(0)));
+    g.finish();
+}
+
+/// Hand-rolled JSON (DESIGN.md §6: no serde) under the workspace's
+/// `bench_results/`, mirroring `BENCH_ingest.json`: the `mode` field keeps
+/// debug smoke numbers from ever being read as release measurements.
+fn write_bench_json(entries: &[Entry]) {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../bench_results");
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("snapshot_roundtrip: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let mode = if cfg!(debug_assertions) { "debug" } else { "release" };
+    let mut sketches = String::new();
+    for (i, e) in entries.iter().enumerate() {
+        let sep = if i + 1 == entries.len() { "" } else { "," };
+        sketches.push_str(&format!(
+            "    {{ \"name\": \"{}\", \"bytes\": {}, \"size_bits\": {}, \
+             \"encode_mb_per_sec\": {:.1}, \"decode_mb_per_sec\": {:.1} }}{sep}\n",
+            e.name, e.bytes, e.size_bits, e.encode_mbps, e.decode_mbps
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"snapshot_roundtrip\",\n  \"mode\": \"{mode}\",\n  \
+         \"rows_total\": {TOTAL_ROWS},\n  \"dims\": {DIMS},\n  \
+         \"sample_rows\": {SAMPLE_ROWS},\n  \"sketches\": [\n{sketches}  ]\n}}\n"
+    );
+    let path = dir.join("BENCH_snapshot.json");
+    match std::fs::write(&path, json) {
+        Ok(()) => println!("snapshot_roundtrip: wrote {}", path.display()),
+        Err(e) => eprintln!("snapshot_roundtrip: cannot write {}: {e}", path.display()),
+    }
+}
+
+criterion_group!(benches, bench_codec_paths, bench_measurement_gate);
+criterion_main!(benches);

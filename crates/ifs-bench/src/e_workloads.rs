@@ -96,8 +96,10 @@ pub fn e11_streaming_vs_sampling() -> Vec<Table> {
     vec![t]
 }
 
-/// E12 — ε-adequate representations \[MT96\]: mining and rule quality on a
+/// E12 — ε-adequate representations [MT96]: mining and rule quality on a
 /// sketch vs the full database, as ε varies.
+///
+/// [MT96]: https://www.aaai.org/Papers/KDD/1996/KDD96-031.pdf
 pub fn e12_mining_on_sketch() -> Vec<Table> {
     let mut rng = Rng64::seeded(0xE12);
     let spec = generators::MarketBasketSpec {

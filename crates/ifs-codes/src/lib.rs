@@ -4,7 +4,9 @@
 //! an auxiliary bit string, so the paper lets that string be "the
 //! error-corrected encoding of a vector … using a code with constant rate
 //! that is uniquely decodable from 4% errors (e.g. using a Justesen code
-//! \[Jus72\])". This crate supplies that code.
+//! [Jus72])". This crate supplies that code.
+//!
+//! [Jus72]: https://doi.org/10.1109/TIT.1972.1054893
 //!
 //! Rather than Justesen's specific construction we implement the classic
 //! concatenation that Justesen codes are a variant of (see DESIGN.md §2):

@@ -24,10 +24,13 @@
 //!
 //! plus [`boosting`] (the For-Each → For-All median transform from the proof
 //! of Theorem 17), [`bounds`] (closed-form upper bounds of Theorem 12 and
-//! lower bounds of Theorems 13–17, used by the experiment harness), and
+//! lower bounds of Theorems 13–17, used by the experiment harness),
 //! [`streaming`] (the fold-and-merge build contracts of DESIGN.md §9:
 //! every sketch build is a single-pass fold over the rows, and partial
-//! builds merge bit-identically to the one-pass fold).
+//! builds merge bit-identically to the one-pass fold), and [`snapshot`]
+//! (the versioned wire formats of DESIGN.md §10: every sketch encodes to a
+//! self-describing byte string, decodes back `==`-identically, and reports
+//! the encoded length as its `size_bits()`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -37,6 +40,7 @@ pub mod bounds;
 mod params;
 mod release_answers;
 mod release_db;
+pub mod snapshot;
 pub mod streaming;
 mod subsample;
 mod traits;
@@ -47,6 +51,7 @@ pub use release_answers::{
     ReleaseAnswersIndicatorBuilder, ReleaseAnswersParams,
 };
 pub use release_db::{ReleaseDb, ReleaseDbBuilder};
+pub use snapshot::{DecodeError, Snapshot};
 pub use streaming::{MergeError, MergeableSketch, StreamingBuild};
 pub use subsample::{Subsample, SubsampleBuilder, SubsampleParams};
 pub use traits::{EstimatorAsIndicator, FrequencyEstimator, FrequencyIndicator, Parallel, Sketch};

@@ -20,10 +20,35 @@
 //! without the raw counts, so the paper's construction is inherently
 //! offline once finished, and the type system says so.
 
+use crate::snapshot::{Snapshot, KIND_RELEASE_ANSWERS_ESTIMATOR, KIND_RELEASE_ANSWERS_INDICATOR};
 use crate::streaming::{MergeError, MergeableSketch, StreamingBuild};
 use crate::traits::{FrequencyEstimator, FrequencyIndicator, Sketch};
+use ifs_database::codec::{self, DecodeError, Reader, Writer};
 use ifs_database::{Database, Itemset};
 use ifs_util::{bits, combin};
+
+/// Shared header validation of the RELEASE-ANSWERS snapshot bodies: the
+/// `(k, d, count)` triple must be a real query space with `count` equal to
+/// `C(d, k)` — anything else cannot index answers by colex rank.
+fn validate_answer_shape(k: usize, d: usize, count: u64) -> Result<(), DecodeError> {
+    if k == 0 || k > d {
+        return Err(DecodeError::Corrupt(format!("k={k} out of range for d={d}")));
+    }
+    // The checked binomial: a crafted (d, k) whose C(d,k) overflows u64
+    // must be a typed refusal, not the panic `binomial_u64` reserves for
+    // trusted build-side parameters.
+    let expected = combin::binomial_checked(d as u64, k as u64)
+        .filter(|&b| u64::try_from(b).is_ok())
+        .ok_or_else(|| {
+            DecodeError::Corrupt(format!("C({d},{k}) does not fit in u64; header is implausible"))
+        })?;
+    if u128::from(count) != expected {
+        return Err(DecodeError::Corrupt(format!(
+            "answer count {count} does not equal C({d},{k}) = {expected}"
+        )));
+    }
+    Ok(())
+}
 
 /// Shared fold state of both RELEASE-ANSWERS builders: one raw support
 /// counter per `k`-itemset (indexed by colex rank) plus the row count.
@@ -187,9 +212,34 @@ impl MergeableSketch for ReleaseAnswersIndicatorBuilder {
 }
 
 impl Sketch for ReleaseAnswersIndicator {
+    /// The length of the actual snapshot encoding (DESIGN.md §10): the
+    /// paper's one bit per answer, byte-rounded, plus the measured frame
+    /// and `(k, d, count)` header — replacing the historical hand-computed
+    /// `count + 128`.
     fn size_bits(&self) -> u64 {
-        // One bit per answer; the (d, k) header is 2 machine words.
-        self.count + 128
+        self.snapshot_bits()
+    }
+}
+
+/// Body: `k`, `d`, `count` varints, then the answer bits packed into
+/// `⌈count/8⌉` bytes (colex-rank order, matching the query path).
+impl Snapshot for ReleaseAnswersIndicator {
+    const KIND: u16 = KIND_RELEASE_ANSWERS_INDICATOR;
+
+    fn encode_body(&self, w: &mut Writer) {
+        w.varint(self.k as u64);
+        w.varint(self.d as u64);
+        w.varint(self.count);
+        codec::write_bitset(w, &self.words, self.count as usize);
+    }
+
+    fn decode_body(r: &mut Reader, _version: u16) -> Result<Self, DecodeError> {
+        let k = r.varint_usize()?;
+        let d = r.varint_usize()?;
+        let count = r.varint()?;
+        validate_answer_shape(k, d, count)?;
+        let words = codec::read_bitset(r, count as usize)?;
+        Ok(Self { k, d, words, count })
     }
 }
 
@@ -207,7 +257,7 @@ impl FrequencyIndicator for ReleaseAnswersIndicator {
 /// is lossy, so re-aggregating shard-local levels could not reproduce the
 /// one-pass quantization bit for bit. Merge the
 /// [builders](ReleaseAnswersEstimatorBuilder) instead.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ReleaseAnswersEstimator {
     k: usize,
     d: usize,
@@ -306,8 +356,49 @@ impl MergeableSketch for ReleaseAnswersEstimatorBuilder {
 }
 
 impl Sketch for ReleaseAnswersEstimator {
+    /// The length of the actual snapshot encoding (DESIGN.md §10): the
+    /// paper's `⌈log₂ levels⌉` bits per answer, byte-rounded, plus the
+    /// measured frame and header — replacing the historical hand-computed
+    /// `count · bits_per + 128`.
     fn size_bits(&self) -> u64 {
-        self.count * self.bits_per as u64 + 128
+        self.snapshot_bits()
+    }
+}
+
+/// Body: `k`, `d`, `levels`, `count` varints, then the quantized levels
+/// packed at `bits_per = ⌈log₂ levels⌉` bits each into `⌈count·bits_per/8⌉`
+/// bytes (colex-rank order). `bits_per` is re-derived from `levels` on
+/// decode — storing both would be a redundancy an attacker could make
+/// inconsistent.
+impl Snapshot for ReleaseAnswersEstimator {
+    const KIND: u16 = KIND_RELEASE_ANSWERS_ESTIMATOR;
+
+    fn encode_body(&self, w: &mut Writer) {
+        w.varint(self.k as u64);
+        w.varint(self.d as u64);
+        w.varint(self.levels);
+        w.varint(self.count);
+        let total_bits = self.count as usize * self.bits_per as usize;
+        codec::write_bitset(w, &self.packed, total_bits);
+    }
+
+    fn decode_body(r: &mut Reader, _version: u16) -> Result<Self, DecodeError> {
+        let k = r.varint_usize()?;
+        let d = r.varint_usize()?;
+        let levels = r.varint()?;
+        if levels < 2 {
+            return Err(DecodeError::Corrupt(format!(
+                "quantization needs at least 2 levels, got {levels}"
+            )));
+        }
+        let count = r.varint()?;
+        validate_answer_shape(k, d, count)?;
+        let bits_per = 64 - (levels - 1).leading_zeros();
+        let total_bits = (count as usize).checked_mul(bits_per as usize).ok_or_else(|| {
+            DecodeError::Corrupt(format!("{count} answers x {bits_per} bits overflows"))
+        })?;
+        let packed = codec::read_bitset(r, total_bits)?;
+        Ok(Self { k, d, bits_per, levels, packed, count })
     }
 }
 
@@ -369,11 +460,16 @@ mod tests {
     }
 
     #[test]
-    fn indicator_size_is_one_bit_per_itemset() {
+    fn indicator_size_is_one_bit_per_itemset_plus_measured_framing() {
         let db = Database::zeros(10, 12);
         let s = ReleaseAnswersIndicator::build(&db, 3, 0.1);
         assert_eq!(s.answer_count(), 220);
-        assert_eq!(s.size_bits(), 220 + 128);
+        let bytes = s.snapshot_bytes();
+        assert_eq!(s.size_bits(), bytes.len() as u64 * 8, "size_bits must equal encoded length");
+        // Body: k (1) + d (1) + count=220 (2) + ⌈220/8⌉ = 28 answer bytes;
+        // frame: magic 4 + kind 2 + version 2 + len varint 1 + checksum 8.
+        assert_eq!(bytes.len(), 17 + 4 + 28);
+        assert_eq!(ReleaseAnswersIndicator::from_snapshot(&bytes).expect("roundtrip"), s);
     }
 
     #[test]

@@ -1,8 +1,10 @@
 //! RELEASE-DB (Definition 6): the identity sketch.
 
+use crate::snapshot::{Snapshot, KIND_RELEASE_DB};
 use crate::streaming::{MergeError, MergeableSketch, StreamingBuild};
 use crate::traits::{FrequencyEstimator, FrequencyIndicator, Parallel, Sketch};
-use ifs_database::{serialize, BitMatrix, Database, Itemset};
+use ifs_database::codec::{self, DecodeError, Reader, Writer};
+use ifs_database::{BitMatrix, Database, Itemset};
 use ifs_util::threads::clamp_threads;
 
 /// Releases the database verbatim; queries are exact.
@@ -128,9 +130,45 @@ impl MergeableSketch for ReleaseDbBuilder {
     }
 }
 
+/// Sketch identity is the stored database plus the threshold ε (compared
+/// by bit pattern); the [`Parallel`] thread knob is execution state and
+/// does not participate.
+impl PartialEq for ReleaseDb {
+    fn eq(&self, other: &Self) -> bool {
+        self.db == other.db && self.epsilon.to_bits() == other.epsilon.to_bits()
+    }
+}
+
+impl Eq for ReleaseDb {}
+
 impl Sketch for ReleaseDb {
+    /// The length of the actual snapshot encoding (DESIGN.md §10) — the
+    /// paper's `O(nd)` with its real constants: header, ε, and word
+    /// padding included, because serving pays for those bytes too.
     fn size_bits(&self) -> u64 {
-        serialize::size_bits(&self.db)
+        self.snapshot_bits()
+    }
+}
+
+/// Body: `epsilon` (f64 bits), then the database fragment. Decoded
+/// sketches start serial (`threads = 1`).
+impl Snapshot for ReleaseDb {
+    const KIND: u16 = KIND_RELEASE_DB;
+
+    fn encode_body(&self, w: &mut Writer) {
+        w.f64_bits(self.epsilon);
+        codec::write_database(w, &self.db);
+    }
+
+    fn decode_body(r: &mut Reader, _version: u16) -> Result<Self, DecodeError> {
+        let epsilon = r.f64_bits()?;
+        if !(epsilon > 0.0 && epsilon < 1.0) {
+            return Err(DecodeError::Corrupt(format!(
+                "threshold must satisfy 0 < ε < 1, got {epsilon}"
+            )));
+        }
+        let db = codec::read_database(r)?;
+        Ok(Self { db, epsilon, threads: 1 })
     }
 }
 
@@ -281,10 +319,14 @@ mod tests {
     }
 
     #[test]
-    fn size_is_serialized_size() {
+    fn size_is_measured_from_the_snapshot_encoding() {
         let db = Database::zeros(10, 100);
         let s = ReleaseDb::build(&db, 0.1);
-        assert_eq!(s.size_bits(), serialize::size_bits(&db));
-        assert_eq!(s.size_bits(), (20 + 10 * 2 * 8) * 8);
+        let bytes = s.snapshot_bytes();
+        assert_eq!(s.size_bits(), bytes.len() as u64 * 8, "size_bits must equal encoded length");
+        // Frame (magic 4 + kind 2 + version 2 + len varint 2 + checksum 8)
+        // + body (ε 8 + rows/dims varints 1 + 1 + 10 rows x 2 words x 8).
+        assert_eq!(bytes.len(), 18 + 10 + 160);
+        assert_eq!(ReleaseDb::from_snapshot(&bytes).expect("roundtrip"), s);
     }
 }

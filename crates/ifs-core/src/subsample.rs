@@ -20,11 +20,13 @@
 //! samples from the same seed.
 
 use crate::params::{Guarantee, SketchParams};
+use crate::snapshot::{Snapshot, KIND_SUBSAMPLE, KIND_SUBSAMPLE_BUILDER};
 use crate::streaming::{
     build_sharded, fold_database, MergeError, MergeableSketch, StreamingBuild, INGEST_CHUNK_ROWS,
 };
 use crate::traits::{FrequencyEstimator, FrequencyIndicator, Parallel, Sketch};
-use ifs_database::{serialize, Database, Itemset};
+use ifs_database::codec::{self, DecodeError, Reader, Writer};
+use ifs_database::{Database, Itemset};
 use ifs_util::hash::stable_hash;
 use ifs_util::threads::clamp_threads;
 use ifs_util::{tail, Rng64};
@@ -137,9 +139,44 @@ impl Subsample {
     }
 }
 
+/// Sketch identity is the sampled rows plus the threshold ε (compared by
+/// bit pattern). The [`Parallel`] thread knob is execution state, not
+/// identity, so it does not participate — and is not serialized.
+impl PartialEq for Subsample {
+    fn eq(&self, other: &Self) -> bool {
+        self.sample == other.sample && self.epsilon.to_bits() == other.epsilon.to_bits()
+    }
+}
+
+impl Eq for Subsample {}
+
 impl Sketch for Subsample {
+    /// The length of the actual snapshot encoding (DESIGN.md §10) — a
+    /// measurement, not bookkeeping.
     fn size_bits(&self) -> u64 {
-        serialize::size_bits(&self.sample)
+        self.snapshot_bits()
+    }
+}
+
+/// Body: `epsilon` (f64 bits), then the sampled rows as a database
+/// fragment. Decoded sketches start serial (`threads = 1`).
+impl Snapshot for Subsample {
+    const KIND: u16 = KIND_SUBSAMPLE;
+
+    fn encode_body(&self, w: &mut Writer) {
+        w.f64_bits(self.epsilon);
+        codec::write_database(w, &self.sample);
+    }
+
+    fn decode_body(r: &mut Reader, _version: u16) -> Result<Self, DecodeError> {
+        let epsilon = r.f64_bits()?;
+        let sample = codec::read_database(r)?;
+        if sample.rows() == 0 {
+            return Err(DecodeError::Corrupt(
+                "a 0-row sample answers no query; valid Subsample snapshots have rows >= 1".into(),
+            ));
+        }
+        Ok(Self { sample, epsilon, threads: 1 })
     }
 }
 
@@ -410,6 +447,130 @@ impl MergeableSketch for SubsampleBuilder {
         }
         self.rows_seen += other.rows_seen - other.front.len() as u64;
         Ok(())
+    }
+}
+
+/// Partial-build identity: every field of the fold state, ε compared by
+/// bit pattern — two equal builders keep folding, merging, and finishing
+/// bit-identically.
+impl PartialEq for SubsampleBuilder {
+    fn eq(&self, other: &Self) -> bool {
+        self.dims == other.dims
+            && self.seed == other.seed
+            && self.params.sample_rows == other.params.sample_rows
+            && self.params.epsilon.to_bits() == other.params.epsilon.to_bits()
+            && self.offset == other.offset
+            && self.rows_seen == other.rows_seen
+            && self.front == other.front
+            && self.back == other.back
+            && self.back_start == other.back_start
+            && self.slots == other.slots
+    }
+}
+
+impl Eq for SubsampleBuilder {}
+
+/// Body: the complete fold state — `(dims, seed, s, ε)` build key, stream
+/// position (`offset`, `rows_seen`, `back_start`), the front/back boundary
+/// buffers, and the per-slot winners. Snapshotting a *partial* build is
+/// what lets ingestion migrate across processes: a decoded builder keeps
+/// observing, merging, and finishing bit-identically to one that never
+/// left memory (DESIGN.md §9 + §10).
+impl Snapshot for SubsampleBuilder {
+    const KIND: u16 = KIND_SUBSAMPLE_BUILDER;
+
+    fn encode_body(&self, w: &mut Writer) {
+        w.varint(self.dims as u64);
+        w.u64(self.seed);
+        w.varint(self.params.sample_rows as u64);
+        w.f64_bits(self.params.epsilon);
+        w.varint(self.offset);
+        w.varint(self.rows_seen);
+        w.varint(self.back_start);
+        w.varint(self.front.len() as u64);
+        for row in &self.front {
+            codec::write_itemset(w, row);
+        }
+        w.varint(self.back.len() as u64);
+        for row in &self.back {
+            codec::write_itemset(w, row);
+        }
+        for slot in &self.slots {
+            match slot {
+                Some(row) => {
+                    w.u8(1);
+                    codec::write_itemset(w, row);
+                }
+                None => w.u8(0),
+            }
+        }
+    }
+
+    fn decode_body(r: &mut Reader, _version: u16) -> Result<Self, DecodeError> {
+        let dims = r.varint_usize()?;
+        let seed = r.u64()?;
+        let sample_rows = r.varint_usize()?;
+        if sample_rows == 0 {
+            return Err(DecodeError::Corrupt("sample count must be positive".into()));
+        }
+        let epsilon = r.f64_bits()?;
+        let offset = r.varint()?;
+        let rows_seen = r.varint()?;
+        let back_start = r.varint()?;
+        let k = INGEST_CHUNK_ROWS as u64;
+        // Checked: an offset in the last chunk of the u64 range has no
+        // next chunk boundary, so a crafted offset is a typed refusal —
+        // never wrapping arithmetic that would inflate front_capacity.
+        let next_boundary = offset.checked_next_multiple_of(k).ok_or_else(|| {
+            DecodeError::Corrupt(format!("row offset {offset} has no chunk boundary above it"))
+        })?;
+        let front_capacity = (next_boundary - offset) as usize;
+        let front_len = r.varint_usize()?;
+        if front_len > front_capacity {
+            return Err(DecodeError::Corrupt(format!(
+                "front buffer claims {front_len} rows, capacity at offset {offset} is \
+                 {front_capacity}"
+            )));
+        }
+        let mut front = Vec::with_capacity(front_len);
+        for _ in 0..front_len {
+            front.push(codec::read_itemset(r, dims)?);
+        }
+        let back_len = r.varint_usize()?;
+        if back_len >= INGEST_CHUNK_ROWS {
+            return Err(DecodeError::Corrupt(format!(
+                "back buffer claims {back_len} rows, full chunks of {INGEST_CHUNK_ROWS} are \
+                 always resolved"
+            )));
+        }
+        let mut back = Vec::with_capacity(back_len);
+        for _ in 0..back_len {
+            back.push(codec::read_itemset(r, dims)?);
+        }
+        r.require(sample_rows)?; // each slot costs >= 1 presence byte
+        let mut slots = Vec::with_capacity(sample_rows);
+        for _ in 0..sample_rows {
+            slots.push(match r.u8()? {
+                0 => None,
+                1 => Some(codec::read_itemset(r, dims)?),
+                other => {
+                    return Err(DecodeError::Corrupt(format!(
+                        "slot presence flag must be 0 or 1, got {other}"
+                    )))
+                }
+            });
+        }
+        Ok(Self {
+            dims,
+            seed,
+            params: SubsampleParams { sample_rows, epsilon },
+            offset,
+            rows_seen,
+            front,
+            back,
+            back_start,
+            slots,
+        })
     }
 }
 

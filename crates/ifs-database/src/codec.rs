@@ -1,0 +1,650 @@
+//! Shared codec substrate for versioned sketch snapshots (DESIGN.md §10).
+//!
+//! Space accounting is the whole point of the paper, so every sketch's
+//! "size in bits" must be the length of a concrete, decodable byte string —
+//! not hand-computed bookkeeping. This module is the substrate those byte
+//! strings are built from: primitive readers/writers (fixed-width
+//! little-endian, LEB128 varints, zigzag for signed counters), a
+//! self-describing frame (magic + kind + format version + body length +
+//! checksum), and a [`DecodeError`] taxonomy that turns every adversarial
+//! input — truncation, wrong magic, version skew, bit flips, trailing
+//! garbage — into a typed refusal instead of a panic.
+//!
+//! Frame layout (all integers little-endian):
+//!
+//! ```text
+//! magic    u32     = 0x4946_5353 ("IFSS")
+//! kind     u16     sketch-type tag (see `ifs_core::snapshot` for the registry)
+//! version  u16     format version of this kind's body layout
+//! len      varint  body length in bytes
+//! body     len bytes (kind-specific)
+//! check    u64     FNV-1a 64 over every preceding byte of the frame
+//! ```
+//!
+//! **Version-skew policy.** A decoder accepts exactly the versions it
+//! knows; a frame carrying any other version — in particular a *future*
+//! one, whose body layout the decoder cannot know — is refused with
+//! [`DecodeError::UnsupportedVersion`] before the checksum is even
+//! examined. Evolving a sketch's body layout means bumping its version and
+//! teaching its decoder the old layouts, never reinterpreting bytes.
+
+use crate::{BitMatrix, Database, Itemset};
+use ifs_util::bits;
+
+/// Magic header marking a snapshot frame ("IFSS").
+pub const SNAPSHOT_MAGIC: u32 = 0x4946_5353;
+
+/// Why a snapshot (or a field inside one) refused to decode.
+///
+/// Decoders never panic on untrusted bytes: every malformed input maps to
+/// one of these variants, and `tests/snapshot_roundtrip.rs` drives each
+/// sketch codec through all of them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Input ended before a field (or the declared body) was complete.
+    Truncated {
+        /// Bytes the next field needed.
+        needed: usize,
+        /// Bytes actually available.
+        available: usize,
+    },
+    /// Frame magic did not match [`SNAPSHOT_MAGIC`].
+    BadMagic(u32),
+    /// The frame is a valid snapshot of a *different* sketch type.
+    WrongKind {
+        /// Kind tag the decoder expected.
+        expected: u16,
+        /// Kind tag found in the frame.
+        got: u16,
+    },
+    /// The frame's body layout version is not one this decoder knows —
+    /// typically a snapshot written by a newer build (see the module docs
+    /// for the skew policy).
+    UnsupportedVersion {
+        /// Kind tag of the frame.
+        kind: u16,
+        /// Version found in the frame.
+        got: u16,
+        /// Newest version this decoder supports.
+        supported: u16,
+    },
+    /// Bytes remain after the complete frame (or after a fully decoded
+    /// body): the input is longer than the snapshot it claims to be.
+    TrailingBytes {
+        /// Number of surplus bytes.
+        extra: usize,
+    },
+    /// The FNV-1a 64 checksum over the frame did not match: bytes were
+    /// corrupted in storage or transit.
+    ChecksumMismatch {
+        /// Checksum recorded in the frame.
+        expected: u64,
+        /// Checksum recomputed from the received bytes.
+        actual: u64,
+    },
+    /// A field decoded but its value is impossible (overflowing sizes,
+    /// out-of-range items, nonzero padding bits, …); the string names the
+    /// field and the violation.
+    Corrupt(String),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated { needed, available } => {
+                write!(f, "input truncated: next field needs {needed} bytes, {available} left")
+            }
+            DecodeError::BadMagic(m) => write!(f, "bad snapshot magic 0x{m:08x}"),
+            DecodeError::WrongKind { expected, got } => {
+                write!(f, "snapshot of kind {got}, decoder expects kind {expected}")
+            }
+            DecodeError::UnsupportedVersion { kind, got, supported } => write!(
+                f,
+                "kind-{kind} snapshot has format version {got}, this build supports <= {supported}"
+            ),
+            DecodeError::TrailingBytes { extra } => {
+                write!(f, "{extra} trailing bytes after the snapshot frame")
+            }
+            DecodeError::ChecksumMismatch { expected, actual } => write!(
+                f,
+                "checksum mismatch: frame says 0x{expected:016x}, bytes hash to 0x{actual:016x}"
+            ),
+            DecodeError::Corrupt(what) => write!(f, "corrupt snapshot field: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// FNV-1a 64 over `bytes` — the frame checksum. Hand-rolled (DESIGN.md §6)
+/// and byte-order independent by construction.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Append-only encoder for snapshot bodies and frames.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// An empty writer.
+    pub fn new() -> Self {
+        Self { buf: Vec::new() }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True iff nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consumes the writer, yielding the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// One raw byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Fixed-width `u32`, little-endian.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Fixed-width `u64`, little-endian.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// An `f64` by its IEEE-754 bit pattern (bit-exact roundtrip; NaN
+    /// payloads included).
+    pub fn f64_bits(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    /// LEB128 varint: 7 value bits per byte, high bit = continuation.
+    pub fn varint(&mut self, mut v: u64) {
+        loop {
+            let byte = (v & 0x7F) as u8;
+            v >>= 7;
+            if v == 0 {
+                self.buf.push(byte);
+                return;
+            }
+            self.buf.push(byte | 0x80);
+        }
+    }
+
+    /// Zigzag-mapped varint for signed counters (small magnitudes of either
+    /// sign stay short).
+    pub fn varint_i64(&mut self, v: i64) {
+        self.varint(((v << 1) ^ (v >> 63)) as u64);
+    }
+
+    /// Raw bytes, verbatim (length must be recoverable from context).
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+
+    /// A packed `u64` word slice as little-endian bytes.
+    pub fn words(&mut self, v: &[u64]) {
+        for w in v {
+            self.u64(*w);
+        }
+    }
+}
+
+/// Cursor over untrusted snapshot bytes; every read is bounds-checked and
+/// returns [`DecodeError::Truncated`] instead of panicking.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// A reader over `bytes`, positioned at the start.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Self { buf: bytes, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Bytes consumed so far.
+    pub fn consumed(&self) -> usize {
+        self.pos
+    }
+
+    /// Checks that at least `needed` bytes remain, without consuming them —
+    /// the pre-allocation guard. Decoders validate an untrusted element
+    /// count against the bytes that could possibly back it (every element
+    /// costs at least one byte) *before* reserving a `Vec`, so a tiny
+    /// frame declaring a huge count is a typed [`DecodeError::Truncated`]
+    /// instead of an enormous allocation request.
+    pub fn require(&self, needed: usize) -> Result<(), DecodeError> {
+        if self.remaining() < needed {
+            return Err(DecodeError::Truncated { needed, available: self.remaining() });
+        }
+        Ok(())
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.remaining() < n {
+            return Err(DecodeError::Truncated { needed: n, available: self.remaining() });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// One raw byte.
+    pub fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Fixed-width `u32`, little-endian.
+    pub fn u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("took 4 bytes")))
+    }
+
+    /// Fixed-width `u64`, little-endian.
+    pub fn u64(&mut self) -> Result<u64, DecodeError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("took 8 bytes")))
+    }
+
+    /// An `f64` from its IEEE-754 bit pattern.
+    pub fn f64_bits(&mut self) -> Result<f64, DecodeError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// LEB128 varint; refuses encodings longer than 10 bytes (the `u64`
+    /// maximum) or overflowing 64 bits.
+    pub fn varint(&mut self) -> Result<u64, DecodeError> {
+        let mut v = 0u64;
+        for i in 0..10 {
+            let byte = self.u8()?;
+            let payload = u64::from(byte & 0x7F);
+            if i == 9 && payload > 1 {
+                return Err(DecodeError::Corrupt("varint overflows u64".into()));
+            }
+            v |= payload << (7 * i);
+            if byte & 0x80 == 0 {
+                return Ok(v);
+            }
+        }
+        Err(DecodeError::Corrupt("varint continuation beyond 10 bytes".into()))
+    }
+
+    /// A varint that must fit in `usize` (always true on 64-bit hosts).
+    pub fn varint_usize(&mut self) -> Result<usize, DecodeError> {
+        usize::try_from(self.varint()?)
+            .map_err(|_| DecodeError::Corrupt("varint exceeds usize".into()))
+    }
+
+    /// Zigzag-mapped signed varint.
+    pub fn varint_i64(&mut self) -> Result<i64, DecodeError> {
+        let z = self.varint()?;
+        Ok(((z >> 1) as i64) ^ -((z & 1) as i64))
+    }
+
+    /// `n` raw bytes.
+    pub fn bytes(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        self.take(n)
+    }
+
+    /// `n` packed `u64` words from little-endian bytes.
+    pub fn words(&mut self, n: usize) -> Result<Vec<u64>, DecodeError> {
+        let needed = n.checked_mul(8).ok_or_else(|| {
+            DecodeError::Corrupt(format!("word count {n} overflows a byte length"))
+        })?;
+        let raw = self.take(needed)?;
+        Ok(raw.chunks_exact(8).map(|c| u64::from_le_bytes(c.try_into().expect("8"))).collect())
+    }
+}
+
+/// Wraps a kind-specific `body` into a full self-describing frame.
+pub fn encode_frame(kind: u16, version: u16, body: &[u8]) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.u32(SNAPSHOT_MAGIC);
+    w.buf.extend_from_slice(&kind.to_le_bytes());
+    w.buf.extend_from_slice(&version.to_le_bytes());
+    w.varint(body.len() as u64);
+    w.bytes(body);
+    let check = fnv1a64(&w.buf);
+    w.u64(check);
+    w.into_bytes()
+}
+
+/// Validates one frame at the start of `bytes` and returns `(body,
+/// consumed)` — the kind-specific body slice and the total frame length.
+/// Bytes past `consumed` are left for the caller (streams of frames are
+/// legal at this layer; strict single-snapshot decoding rejects them with
+/// [`DecodeError::TrailingBytes`] one level up).
+///
+/// Check order is part of the contract: magic, kind, and version are
+/// judged *before* the checksum, so a version-skewed frame reports
+/// [`DecodeError::UnsupportedVersion`] rather than a useless mismatch on a
+/// checksum whose coverage the decoder cannot interpret.
+pub fn decode_frame(
+    bytes: &[u8],
+    kind: u16,
+    supported_version: u16,
+) -> Result<(&[u8], usize), DecodeError> {
+    let mut r = Reader::new(bytes);
+    let magic = r.u32()?;
+    if magic != SNAPSHOT_MAGIC {
+        return Err(DecodeError::BadMagic(magic));
+    }
+    let got_kind = u16::from_le_bytes(r.bytes(2)?.try_into().expect("2"));
+    if got_kind != kind {
+        return Err(DecodeError::WrongKind { expected: kind, got: got_kind });
+    }
+    let version = u16::from_le_bytes(r.bytes(2)?.try_into().expect("2"));
+    if version == 0 || version > supported_version {
+        return Err(DecodeError::UnsupportedVersion {
+            kind,
+            got: version,
+            supported: supported_version,
+        });
+    }
+    let body_len = r.varint_usize()?;
+    let body_start = r.consumed();
+    let body = r.bytes(body_len)?;
+    let covered = body_start + body_len;
+    let expected = r.u64()?;
+    let actual = fnv1a64(&bytes[..covered]);
+    if expected != actual {
+        return Err(DecodeError::ChecksumMismatch { expected, actual });
+    }
+    Ok((body, r.consumed()))
+}
+
+/// Encodes a database (rows, dims, packed row words) as a snapshot body
+/// fragment — the shared payload of the row-based sketches.
+pub fn write_database(w: &mut Writer, db: &Database) {
+    w.varint(db.rows() as u64);
+    w.varint(db.dims() as u64);
+    w.words(db.matrix().raw_words());
+}
+
+/// Decodes a database fragment written by [`write_database`], validating
+/// shape arithmetic and row-padding bits before any matrix is built (so
+/// adversarial headers cannot cause overflowing allocations or construct a
+/// matrix that violates the zero-padding invariant word-wise subset tests
+/// rely on).
+pub fn read_database(r: &mut Reader) -> Result<Database, DecodeError> {
+    let rows = r.varint_usize()?;
+    let dims = r.varint_usize()?;
+    let words_per_row = bits::words_for(dims).max(1);
+    let total_words = rows.checked_mul(words_per_row).ok_or_else(|| {
+        DecodeError::Corrupt(format!("database shape {rows}x{dims} overflows a word count"))
+    })?;
+    let words = r.words(total_words)?;
+    if !dims.is_multiple_of(64) && dims > 0 {
+        let pad_shift = dims % 64;
+        for row in 0..rows {
+            let last = words[row * words_per_row + words_per_row - 1];
+            if last >> pad_shift != 0 {
+                return Err(DecodeError::Corrupt(format!(
+                    "row {row} has nonzero padding bits beyond column {dims}"
+                )));
+            }
+        }
+    }
+    Ok(Database::from_matrix(BitMatrix::from_raw(rows, dims, words)))
+}
+
+/// Encodes the first `bit_count` bits of a packed word vector as the
+/// minimal whole number of bytes (`⌈bit_count/8⌉`) — the payload form of
+/// the RELEASE-ANSWERS stores, where byte-rounding is the only overhead on
+/// top of the paper's exact bit counts. Bits beyond `bit_count` must be
+/// zero.
+pub fn write_bitset(w: &mut Writer, words: &[u64], bit_count: usize) {
+    debug_assert!(words.len() * 64 >= bit_count);
+    let nbytes = bit_count.div_ceil(8);
+    let mut bytes = Vec::with_capacity(nbytes);
+    'outer: for word in words {
+        for b in word.to_le_bytes() {
+            if bytes.len() == nbytes {
+                break 'outer;
+            }
+            bytes.push(b);
+        }
+    }
+    debug_assert_eq!(bytes.len(), nbytes);
+    if !bit_count.is_multiple_of(8) {
+        debug_assert_eq!(bytes[nbytes - 1] >> (bit_count % 8), 0, "padding bits must be zero");
+    }
+    w.bytes(&bytes);
+}
+
+/// Decodes a bitset written by [`write_bitset`] back into packed words
+/// (at least one word, matching `ifs_util::bits::words_for(..).max(1)`
+/// layouts), refusing nonzero padding bits.
+pub fn read_bitset(r: &mut Reader, bit_count: usize) -> Result<Vec<u64>, DecodeError> {
+    let nbytes = bit_count.div_ceil(8);
+    let raw = r.bytes(nbytes)?;
+    if !bit_count.is_multiple_of(8) && raw[nbytes - 1] >> (bit_count % 8) != 0 {
+        return Err(DecodeError::Corrupt(format!(
+            "bitset has nonzero padding bits beyond bit {bit_count}"
+        )));
+    }
+    let mut words = vec![0u64; bits::words_for(bit_count).max(1)];
+    for (i, &b) in raw.iter().enumerate() {
+        words[i / 8] |= u64::from(b) << (8 * (i % 8));
+    }
+    Ok(words)
+}
+
+/// Encodes an itemset as a count followed by its sorted items (delta-coded
+/// varints, so dense rows stay near one byte per item).
+pub fn write_itemset(w: &mut Writer, itemset: &Itemset) {
+    let items = itemset.items();
+    w.varint(items.len() as u64);
+    let mut prev = 0u32;
+    for (i, &item) in items.iter().enumerate() {
+        let delta = if i == 0 { item } else { item - prev };
+        w.varint(u64::from(delta));
+        prev = item;
+    }
+}
+
+/// Decodes an itemset written by [`write_itemset`], refusing counts or
+/// items that cannot belong to a `dims`-attribute row.
+pub fn read_itemset(r: &mut Reader, dims: usize) -> Result<Itemset, DecodeError> {
+    let len = r.varint_usize()?;
+    if len > dims {
+        return Err(DecodeError::Corrupt(format!(
+            "itemset claims {len} items over {dims} attributes"
+        )));
+    }
+    r.require(len)?; // each item costs >= 1 varint byte
+    let mut items = Vec::with_capacity(len);
+    let mut prev = 0u64;
+    for i in 0..len {
+        let delta = r.varint()?;
+        let item = if i == 0 {
+            delta
+        } else {
+            prev.checked_add(delta)
+                .ok_or_else(|| DecodeError::Corrupt("itemset item delta overflows u64".into()))?
+        };
+        if item >= dims as u64 {
+            return Err(DecodeError::Corrupt(format!(
+                "item {item} out of range for {dims} attributes"
+            )));
+        }
+        if i > 0 && delta == 0 {
+            return Err(DecodeError::Corrupt("itemset items not strictly increasing".into()));
+        }
+        items.push(item as u32);
+        prev = item;
+    }
+    Ok(Itemset::new(items))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn itemset_roundtrips_and_validates() {
+        for items in [vec![], vec![0], vec![0, 1, 63, 64, 1000]] {
+            let t = Itemset::new(items);
+            let mut w = Writer::new();
+            write_itemset(&mut w, &t);
+            let bytes = w.into_bytes();
+            let mut r = Reader::new(&bytes);
+            assert_eq!(read_itemset(&mut r, 1001).expect("roundtrip"), t);
+            assert_eq!(r.remaining(), 0);
+        }
+        // Out-of-range item refuses.
+        let mut w = Writer::new();
+        write_itemset(&mut w, &Itemset::new(vec![5]));
+        let bytes = w.into_bytes();
+        assert!(matches!(read_itemset(&mut Reader::new(&bytes), 5), Err(DecodeError::Corrupt(_))));
+        // Oversized count refuses before allocating.
+        let mut w = Writer::new();
+        w.varint(u64::MAX);
+        let bytes = w.into_bytes();
+        assert!(matches!(read_itemset(&mut Reader::new(&bytes), 8), Err(DecodeError::Corrupt(_))));
+    }
+
+    #[test]
+    fn primitives_roundtrip() {
+        let mut w = Writer::new();
+        w.u8(7);
+        w.u32(0xDEAD_BEEF);
+        w.u64(u64::MAX);
+        w.f64_bits(-0.125);
+        w.varint(0);
+        w.varint(127);
+        w.varint(128);
+        w.varint(u64::MAX);
+        w.varint_i64(-1);
+        w.varint_i64(i64::MIN);
+        w.words(&[1, 2, 3]);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64().unwrap(), u64::MAX);
+        assert_eq!(r.f64_bits().unwrap(), -0.125);
+        assert_eq!(r.varint().unwrap(), 0);
+        assert_eq!(r.varint().unwrap(), 127);
+        assert_eq!(r.varint().unwrap(), 128);
+        assert_eq!(r.varint().unwrap(), u64::MAX);
+        assert_eq!(r.varint_i64().unwrap(), -1);
+        assert_eq!(r.varint_i64().unwrap(), i64::MIN);
+        assert_eq!(r.words(3).unwrap(), vec![1, 2, 3]);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn reads_refuse_truncation() {
+        let mut r = Reader::new(&[0xFF; 3]);
+        assert!(matches!(r.u64(), Err(DecodeError::Truncated { needed: 8, available: 3 })));
+        // A varint of nothing but continuation bytes is truncated, then
+        // (when long enough) corrupt.
+        let mut r = Reader::new(&[0x80, 0x80]);
+        assert!(matches!(r.varint(), Err(DecodeError::Truncated { .. })));
+        let all_cont = [0x80u8; 11];
+        let mut r = Reader::new(&all_cont);
+        assert!(matches!(r.varint(), Err(DecodeError::Corrupt(_))));
+        // 10th byte carrying more than the u64's top bit overflows.
+        let mut overflow = [0xFFu8; 9].to_vec();
+        overflow.push(0x02);
+        let mut r = Reader::new(&overflow);
+        assert!(matches!(r.varint(), Err(DecodeError::Corrupt(_))));
+    }
+
+    #[test]
+    fn frame_roundtrips_and_refuses_each_attack() {
+        let body = b"sketch body bytes";
+        let frame = encode_frame(3, 1, body);
+        let (got, consumed) = decode_frame(&frame, 3, 1).expect("well-formed frame");
+        assert_eq!(got, body);
+        assert_eq!(consumed, frame.len());
+
+        // Truncation at every prefix length errors, never panics.
+        for cut in 0..frame.len() {
+            assert!(decode_frame(&frame[..cut], 3, 1).is_err(), "prefix {cut} decoded");
+        }
+        // Bad magic.
+        let mut bad = frame.clone();
+        bad[0] ^= 0xFF;
+        assert!(matches!(decode_frame(&bad, 3, 1), Err(DecodeError::BadMagic(_))));
+        // Wrong kind.
+        assert!(matches!(
+            decode_frame(&frame, 4, 1),
+            Err(DecodeError::WrongKind { expected: 4, got: 3 })
+        ));
+        // Future version (and the reserved version 0) refuse before the
+        // checksum is consulted.
+        let mut future = frame.clone();
+        future[6] = 9;
+        assert!(matches!(
+            decode_frame(&future, 3, 1),
+            Err(DecodeError::UnsupportedVersion { kind: 3, got: 9, supported: 1 })
+        ));
+        let mut zero = frame.clone();
+        zero[6] = 0;
+        assert!(matches!(decode_frame(&zero, 3, 1), Err(DecodeError::UnsupportedVersion { .. })));
+        // A flipped body bit fails the checksum.
+        let mut flipped = frame.clone();
+        flipped[10] ^= 0x01;
+        assert!(matches!(decode_frame(&flipped, 3, 1), Err(DecodeError::ChecksumMismatch { .. })));
+        // Trailing bytes are visible to the caller via `consumed`.
+        let mut long = frame.clone();
+        long.extend_from_slice(b"junk");
+        let (_, consumed) = decode_frame(&long, 3, 1).expect("frame itself is intact");
+        assert_eq!(long.len() - consumed, 4);
+    }
+
+    #[test]
+    fn database_fragment_roundtrips_and_validates() {
+        let mut rng = ifs_util::Rng64::seeded(77);
+        for (n, d) in [(0usize, 5usize), (3, 0), (7, 64), (13, 65), (20, 130)] {
+            let db = crate::generators::uniform(n, d, 0.4, &mut rng);
+            let mut w = Writer::new();
+            write_database(&mut w, &db);
+            let bytes = w.into_bytes();
+            let mut r = Reader::new(&bytes);
+            assert_eq!(read_database(&mut r).expect("roundtrip"), db, "n={n} d={d}");
+            assert_eq!(r.remaining(), 0);
+        }
+        // Nonzero padding bits are corrupt, not silently accepted.
+        let db = Database::zeros(2, 10);
+        let mut w = Writer::new();
+        write_database(&mut w, &db);
+        let mut bytes = w.into_bytes();
+        let last = bytes.len() - 1;
+        bytes[last] = 0x80; // bit 63 of row 1's only word: past column 10
+        let mut r = Reader::new(&bytes);
+        assert!(matches!(read_database(&mut r), Err(DecodeError::Corrupt(_))));
+    }
+
+    #[test]
+    fn fnv_golden() {
+        // Standard FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xCBF2_9CE4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xAF63_DC4C_8601_EC8C);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171F73967E8);
+    }
+}

@@ -24,14 +24,18 @@
 //!   planted itemsets, Zipf-popularity market-basket data with correlated
 //!   bundles, and the binary decomposition of categorical attributes
 //!   described in footnote 1 of the paper.
-//! * [`serialize`] — a self-describing binary wire format. Serialized size is
-//!   what the experiments mean by "the size of RELEASE-DB / SUBSAMPLE
-//!   sketches in bits".
+//! * [`serialize`] — the standalone database wire format (what "the full
+//!   database costs `n·d` bits plus a header" means concretely).
+//! * [`codec`] — the shared snapshot codec substrate (DESIGN.md §10):
+//!   framed, versioned, checksummed encodings with a typed [`DecodeError`]
+//!   taxonomy. Every sketch's wire format — and therefore every sketch's
+//!   `size_bits()` measurement — is built on it.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod bitmatrix;
+pub mod codec;
 mod columnstore;
 mod database;
 pub mod generators;
@@ -41,6 +45,7 @@ mod sharded;
 pub mod stats;
 
 pub use bitmatrix::BitMatrix;
+pub use codec::DecodeError;
 pub use columnstore::ColumnStore;
 pub use database::Database;
 pub use itemset::Itemset;

@@ -5,10 +5,12 @@
 //! Indicator sketch yields a protocol with message length = sketch size:
 //! Alice encodes `x` as the Theorem 13 database `D_x`, sends the sketch,
 //! and Bob queries the itemset `T_y`. Since INDEX needs Ω(N) communication
-//! \[Abl96\], sketches need Ω(N) = Ω(d/ε) bits.
+//! [Abl96], sketches need Ω(N) = Ω(d/ε) bits.
 //!
 //! The module runs this protocol with any sketch builder and reports the
 //! empirical success probability and the message size actually sent.
+//!
+//! [Abl96]: https://doi.org/10.1016/0304-3975(95)00157-3
 
 use crate::thm13::HardInstance;
 use ifs_core::{FrequencyIndicator, Sketch};

@@ -7,12 +7,14 @@
 //! subgraph `K_{s,c}` (every supporting row connects to every item). The
 //! paper uses this to observe that finding an approximately maximum
 //! *balanced* frequent itemset is NP-hard (via hardness of Balanced Complete
-//! Bipartite Subgraph \[FK04\]).
+//! Bipartite Subgraph [FK04]).
 //!
 //! This module makes the reduction executable: conversions both ways, an
 //! exact (exponential) maximum-balanced-biclique search for small instances,
 //! and a greedy heuristic — experiment E13 contrasts their runtime growth,
 //! which is the point of the hardness discussion.
+//!
+//! [FK04]: https://www.wisdom.weizmann.ac.il/~feige/TechnicalReports/bipartiteclique.pdf
 
 use ifs_database::{Database, Itemset};
 use ifs_util::bits;

@@ -17,8 +17,10 @@
 //! * [`biclique`] — the §1.1.1 reduction between frequent itemsets and
 //!   balanced complete bipartite subgraphs, with exact and greedy finders.
 //! * [`oracle`] — Apriori against *any* frequency estimator, the
-//!   ε-adequate-representation workflow of \[MT96\]: mine from a sketch
+//!   ε-adequate-representation workflow of [MT96]: mine from a sketch
 //!   instead of the database.
+//!
+//! [MT96]: https://www.aaai.org/Papers/KDD/1996/KDD96-031.pdf
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

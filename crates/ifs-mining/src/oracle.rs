@@ -1,4 +1,4 @@
-//! Mining from a sketch — the ε-adequate representation workflow of \[MT96\].
+//! Mining from a sketch — the ε-adequate representation workflow of [MT96].
 //!
 //! Mannila–Toivonen define an ε-adequate representation as any structure
 //! answering itemset frequency queries to within ε; the paper's
@@ -7,9 +7,11 @@
 //! replaces the database entirely — the "interactive knowledge discovery"
 //! scenario of §1.1.2.
 //!
-//! Guarantee inherited from \[MT96\]: with a threshold `θ` and a sketch of
+//! Guarantee inherited from [MT96]: with a threshold `θ` and a sketch of
 //! additive error ε, mining at `θ − ε` returns every itemset with true
 //! frequency ≥ θ and nothing with true frequency < θ − 2ε.
+//!
+//! [MT96]: https://www.aaai.org/Papers/KDD/1996/KDD96-031.pdf
 
 use crate::MinedItemset;
 use ifs_core::FrequencyEstimator;

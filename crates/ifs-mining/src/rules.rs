@@ -1,10 +1,12 @@
-//! Association rules — the Mannila–Toivonen \[MT96\] downstream task.
+//! Association rules — the Mannila–Toivonen [MT96] downstream task.
 //!
 //! A rule `X ⇒ Y` (X, Y disjoint, X∪Y frequent) has
 //! `confidence = f(X∪Y)/f(X)` and `lift = f(X∪Y)/(f(X)·f(Y))`. The paper
-//! cites \[MT96\] for how errors in approximate frequencies propagate into
+//! cites [MT96] for how errors in approximate frequencies propagate into
 //! rule-quality measures; experiment E12 measures exactly that propagation,
 //! using this module on both exact and sketched frequencies.
+//!
+//! [MT96]: https://www.aaai.org/Papers/KDD/1996/KDD96-031.pdf
 
 use crate::MinedItemset;
 use ifs_database::Itemset;

@@ -9,7 +9,9 @@
 //! the streaming experiment.
 
 use crate::StreamCounter;
+use ifs_core::snapshot::{Snapshot, KIND_COUNT_MIN};
 use ifs_core::streaming::{MergeError, MergeableSketch};
+use ifs_database::codec::{DecodeError, Reader, Writer};
 use ifs_util::StableHasher;
 use std::hash::{Hash, Hasher};
 
@@ -96,6 +98,81 @@ impl<T: Hash> MergeableSketch for CountMinSketch<T> {
     }
 }
 
+/// Body: `width`, `depth`, `conservative` flag, stream length, the `depth`
+/// per-row hash seeds, then `width·depth` counters as varints — so a
+/// lightly loaded sketch costs far fewer bytes than its 64-bit-per-cell
+/// RAM footprint, and `size_bits()` reports what a serving tier would
+/// actually ship.
+///
+/// The item type `T` is *not* part of the wire format (the sketch stores
+/// only hashed buckets); decoding the bytes at a different `T` than the
+/// encoder used yields a structurally valid sketch whose estimates answer
+/// the wrong key space. Keep the item type with the snapshot's provenance,
+/// as with any hash-keyed store.
+impl<T: Hash> Snapshot for CountMinSketch<T> {
+    const KIND: u16 = KIND_COUNT_MIN;
+
+    fn encode_body(&self, w: &mut Writer) {
+        w.varint(self.width as u64);
+        w.varint(self.depth as u64);
+        w.u8(u8::from(self.conservative));
+        w.varint(self.len);
+        for &s in &self.seeds {
+            w.u64(s);
+        }
+        for &c in &self.counters {
+            w.varint(c);
+        }
+    }
+
+    fn decode_body(r: &mut Reader, _version: u16) -> Result<Self, DecodeError> {
+        let width = r.varint_usize()?;
+        let depth = r.varint_usize()?;
+        if width == 0 || depth == 0 {
+            return Err(DecodeError::Corrupt(format!(
+                "Count-Min needs width >= 1 and depth >= 1, got {width}x{depth}"
+            )));
+        }
+        let cells = width.checked_mul(depth).ok_or_else(|| {
+            DecodeError::Corrupt(format!("{depth}x{width} cells overflow a counter table"))
+        })?;
+        let conservative = match r.u8()? {
+            0 => false,
+            1 => true,
+            other => {
+                return Err(DecodeError::Corrupt(format!(
+                    "conservative flag must be 0 or 1, got {other}"
+                )))
+            }
+        };
+        let len = r.varint()?;
+        // Pre-allocation guards: the declared shape must be backed by
+        // enough remaining bytes (8 per seed, >= 1 per varint counter)
+        // before any table is reserved.
+        r.require(depth.checked_mul(8).ok_or_else(|| {
+            DecodeError::Corrupt(format!("depth {depth} overflows a byte length"))
+        })?)?;
+        let mut seeds = Vec::with_capacity(depth);
+        for _ in 0..depth {
+            seeds.push(r.u64()?);
+        }
+        r.require(cells)?;
+        let mut counters = Vec::with_capacity(cells);
+        for _ in 0..cells {
+            counters.push(r.varint()?);
+        }
+        Ok(Self {
+            width,
+            depth,
+            counters,
+            seeds,
+            len,
+            conservative,
+            _marker: std::marker::PhantomData,
+        })
+    }
+}
+
 impl<T: Hash> StreamCounter<T> for CountMinSketch<T> {
     fn update(&mut self, item: T) {
         self.len += 1;
@@ -123,8 +200,11 @@ impl<T: Hash> StreamCounter<T> for CountMinSketch<T> {
         self.len
     }
 
+    /// The length of the actual snapshot encoding (DESIGN.md §10) — the
+    /// bytes a serving tier would ship, not the 64-bit-per-cell RAM
+    /// footprint the historical bookkeeping reported.
     fn size_bits(&self) -> u64 {
-        (self.width * self.depth) as u64 * 64
+        self.snapshot_bits()
     }
 }
 
@@ -197,9 +277,21 @@ mod tests {
     }
 
     #[test]
-    fn size_accounting() {
-        let cm = CountMinSketch::<u32>::new(100, 5, false, 1);
-        assert_eq!(cm.size_bits(), 100 * 5 * 64);
+    fn size_accounting_is_the_encoded_length() {
+        let mut cm = CountMinSketch::<u32>::new(100, 5, false, 1);
+        let empty_bytes = cm.snapshot_bytes();
+        assert_eq!(cm.size_bits(), empty_bytes.len() as u64 * 8);
+        // 500 zero counters cost one varint byte each, far below the
+        // 64-bit-per-cell RAM footprint; filling counters grows the
+        // encoding, and size_bits tracks it exactly.
+        assert!(cm.size_bits() < 100 * 5 * 64);
+        for x in 0..10_000u32 {
+            cm.update(x % 50);
+        }
+        let full_bytes = cm.snapshot_bytes();
+        assert!(full_bytes.len() > empty_bytes.len());
+        assert_eq!(cm.size_bits(), full_bytes.len() as u64 * 8);
+        assert_eq!(CountMinSketch::<u32>::from_snapshot(&full_bytes).expect("roundtrip"), cm);
     }
 
     /// Plain Count-Min merges counter-wise: split the stream anywhere, and

@@ -7,7 +7,9 @@
 //! to Count-Min's L1 guarantee.
 
 use crate::StreamCounter;
+use ifs_core::snapshot::{Snapshot, KIND_COUNT_SKETCH};
 use ifs_core::streaming::{MergeError, MergeableSketch};
+use ifs_database::codec::{DecodeError, Reader, Writer};
 use ifs_util::StableHasher;
 use std::hash::{Hash, Hasher};
 
@@ -85,6 +87,57 @@ impl<T: Hash> MergeableSketch for CountSketch<T> {
     }
 }
 
+/// Body: `width`, `depth`, stream length, the `depth` per-row hash seeds,
+/// then `width·depth` *signed* counters as zigzag varints (near-zero cells
+/// — the common case for a sketch whose cells concentrate around 0 — cost
+/// one byte). As with Count-Min, the item type `T` is not part of the wire
+/// format; see [`CountMinSketch`](crate::CountMinSketch)'s snapshot docs.
+impl<T: Hash> Snapshot for CountSketch<T> {
+    const KIND: u16 = KIND_COUNT_SKETCH;
+
+    fn encode_body(&self, w: &mut Writer) {
+        w.varint(self.width as u64);
+        w.varint(self.depth as u64);
+        w.varint(self.len);
+        for &s in &self.seeds {
+            w.u64(s);
+        }
+        for &c in &self.counters {
+            w.varint_i64(c);
+        }
+    }
+
+    fn decode_body(r: &mut Reader, _version: u16) -> Result<Self, DecodeError> {
+        let width = r.varint_usize()?;
+        let depth = r.varint_usize()?;
+        if width == 0 || depth == 0 {
+            return Err(DecodeError::Corrupt(format!(
+                "Count-Sketch needs width >= 1 and depth >= 1, got {width}x{depth}"
+            )));
+        }
+        let cells = width.checked_mul(depth).ok_or_else(|| {
+            DecodeError::Corrupt(format!("{depth}x{width} cells overflow a counter table"))
+        })?;
+        let len = r.varint()?;
+        // Pre-allocation guards, as in Count-Min's decoder: the declared
+        // shape must be backed by enough remaining bytes before any table
+        // is reserved.
+        r.require(depth.checked_mul(8).ok_or_else(|| {
+            DecodeError::Corrupt(format!("depth {depth} overflows a byte length"))
+        })?)?;
+        let mut seeds = Vec::with_capacity(depth);
+        for _ in 0..depth {
+            seeds.push(r.u64()?);
+        }
+        r.require(cells)?;
+        let mut counters = Vec::with_capacity(cells);
+        for _ in 0..cells {
+            counters.push(r.varint_i64()?);
+        }
+        Ok(Self { width, depth, counters, seeds, len, _marker: std::marker::PhantomData })
+    }
+}
+
 impl<T: Hash> StreamCounter<T> for CountSketch<T> {
     fn update(&mut self, item: T) {
         self.len += 1;
@@ -102,8 +155,10 @@ impl<T: Hash> StreamCounter<T> for CountSketch<T> {
         self.len
     }
 
+    /// The length of the actual snapshot encoding (DESIGN.md §10), like
+    /// Count-Min's — measured bytes, not the RAM footprint.
     fn size_bits(&self) -> u64 {
-        (self.width * self.depth) as u64 * 64
+        self.snapshot_bits()
     }
 }
 

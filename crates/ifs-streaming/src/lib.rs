@@ -9,7 +9,7 @@
 //! * [`MisraGries`] — deterministic counter-based heavy hitters.
 //! * [`SpaceSaving`] — the Metwally et al. variant with overestimation
 //!   tracking.
-//! * [`LossyCounting`] — Manku–Motwani \[MM02\], the algorithm the paper
+//! * [`LossyCounting`] — Manku–Motwani [MM02], the algorithm the paper
 //!   cites as the root of the streaming frequent-itemset literature.
 //! * [`CountMinSketch`] — hashing-based frequency estimation (with optional
 //!   conservative update), the linear-sketch contrast.
@@ -23,6 +23,8 @@
 //!   counter-wise (commutative) merges; plain [`CountMinSketch`] and
 //!   [`CountSketch`] also merge directly, while conservative-update
 //!   Count-Min refuses (state-dependent, inherently one-pass).
+//!
+//! [MM02]: https://doi.org/10.1016/B978-155860869-6/50038-X
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -1,10 +1,12 @@
-//! Lossy Counting — Manku & Motwani \[MM02\], the algorithm the paper cites
+//! Lossy Counting — Manku & Motwani [MM02], the algorithm the paper cites
 //! as the origin of streaming frequent-itemset mining.
 //!
 //! The stream is processed in buckets of width `⌈1/ε⌉`; at bucket
 //! boundaries, entries whose count plus bucket slack falls below the current
 //! bucket id are pruned. Estimates underestimate by at most `εN`, and every
 //! item with frequency ≥ ε survives.
+//!
+//! [MM02]: https://doi.org/10.1016/B978-155860869-6/50038-X
 
 use crate::StreamCounter;
 use std::collections::HashMap;
@@ -44,8 +46,10 @@ impl<T: Hash + Eq + Clone> LossyCounting<T> {
         (self.epsilon * self.len as f64).ceil() as u64
     }
 
-    /// Items with estimated frequency at least `theta − ε` — the \[MM02\]
+    /// Items with estimated frequency at least `theta − ε` — the [MM02]
     /// query answering "all items with frequency ≥ θ, none below θ − ε".
+    ///
+    /// [MM02]: https://doi.org/10.1016/B978-155860869-6/50038-X
     pub fn frequent_items(&self, theta: f64) -> Vec<(T, u64)> {
         let cutoff = ((theta - self.epsilon) * self.len as f64).max(0.0);
         self.entries
@@ -55,8 +59,10 @@ impl<T: Hash + Eq + Clone> LossyCounting<T> {
             .collect()
     }
 
-    /// High-water mark of tracked entries (the space actually used; \[MM02\]
+    /// High-water mark of tracked entries (the space actually used; [MM02]
     /// bounds it by `(1/ε)·log(εN)`).
+    ///
+    /// [MM02]: https://doi.org/10.1016/B978-155860869-6/50038-X
     pub fn peak_entries(&self) -> usize {
         self.max_entries_seen
     }

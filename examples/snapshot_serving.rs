@@ -1,0 +1,134 @@
+//! Offline build, online serve: sketches cross a process boundary as
+//! versioned snapshots (DESIGN.md §10).
+//!
+//! The ROADMAP's target deployment splits in two: an offline tier with the
+//! full database builds sketches (sharded across cores, §8/§9), and a
+//! serving tier that never sees a row of raw data answers user queries
+//! from sketch bytes alone. This example runs that split end to end inside
+//! one process: build → `snapshot_bytes()` → move *only the bytes* into a
+//! serving thread → `from_snapshot()` → answer a query log — and asserts
+//! the served answers are bit-identical to querying the never-serialized
+//! originals. Along the way it prints each sketch's `size_bits()`, which
+//! since the snapshot layer is exactly the byte length the serving tier
+//! just received: the paper's `|S|`, measured.
+//!
+//! Run with: `cargo run --release --example snapshot_serving`
+
+use itemset_sketches::prelude::*;
+use itemset_sketches::streaming::{CountMinSketch, StreamCounter};
+use std::time::Instant;
+
+const TOTAL_ROWS: usize = 40_000;
+const DIMS: usize = 64;
+const SAMPLE_ROWS: usize = 3_000;
+const QUERY_LOG: usize = 2_000;
+const SEED: u64 = 0x0FF1CE;
+
+fn main() {
+    // ---- Offline tier: full data, sharded builds (§8/§9). -------------
+    let mut rng = Rng64::seeded(SEED);
+    let hot = Itemset::new(vec![5, 21]);
+    let db = {
+        let mut d = Database::zeros(0, DIMS);
+        let rows: Vec<Itemset> = (0..TOTAL_ROWS)
+            .map(|_| {
+                let mut row: Vec<u32> = (0..DIMS as u32).filter(|_| rng.bernoulli(0.1)).collect();
+                if rng.bernoulli(0.3) {
+                    row.extend_from_slice(hot.items());
+                }
+                row.into_iter().collect::<Itemset>()
+            })
+            .collect();
+        d.append_rows(&rows);
+        d
+    };
+
+    let t = Instant::now();
+    let sample = Subsample::with_sample_count_sharded(&db, SAMPLE_ROWS, 0.05, SEED, 4);
+    let answers = ReleaseAnswersIndicator::build(&db, 2, 0.1);
+    // Item-level heavy hitters ride the same wire: a Count-Min over every
+    // item arrival in the row stream.
+    let mut cm = CountMinSketch::<u32>::new(1024, 4, false, SEED);
+    for r in 0..db.rows() {
+        for &item in db.row_itemset(r).items() {
+            cm.update(item);
+        }
+    }
+    println!(
+        "offline tier: built 3 sketches from {} rows x {} dims in {:?}",
+        db.rows(),
+        db.dims(),
+        t.elapsed()
+    );
+
+    // ---- The wire: snapshots are all that crosses. ---------------------
+    let sample_bytes = sample.snapshot_bytes();
+    let answers_bytes = answers.snapshot_bytes();
+    let cm_bytes = cm.snapshot_bytes();
+    let full_bits = itemset_sketches::database::serialize::size_bits(&db);
+    for (name, sketch_bits, bytes) in [
+        ("SUBSAMPLE", sample.size_bits(), &sample_bytes),
+        ("RELEASE-ANSWERS", answers.size_bits(), &answers_bytes),
+        ("COUNT-MIN", StreamCounter::size_bits(&cm), &cm_bytes),
+    ] {
+        assert_eq!(sketch_bits, bytes.len() as u64 * 8, "{name}: size_bits must be measured");
+        println!(
+            "  {name:<16} {:>8} bytes on the wire ({sketch_bits} bits = {:.2}% of the full \
+             database)",
+            bytes.len(),
+            100.0 * sketch_bits as f64 / full_bits as f64
+        );
+    }
+
+    // Reference answers from the never-serialized originals.
+    let queries: Vec<Itemset> = (0..QUERY_LOG)
+        .map(|q| match q % 7 {
+            0 => hot.clone(),
+            _ => (0..1 + q % 3).map(|_| rng.below(DIMS) as u32).collect(),
+        })
+        .collect();
+    let reference_est = sample.estimate_batch(&queries);
+    let pair_queries: Vec<Itemset> = queries.iter().filter(|t| t.len() == 2).cloned().collect();
+    let reference_ind: Vec<bool> = pair_queries.iter().map(|t| answers.is_frequent(t)).collect();
+    let hot_item = hot.items()[0];
+    let reference_cm = cm.estimate(&hot_item);
+
+    // ---- Serving tier: a thread that only ever sees bytes. -------------
+    let t = Instant::now();
+    let (served_est, served_ind, served_cm) = std::thread::scope(|scope| {
+        scope
+            .spawn(|| {
+                let sample = Subsample::from_snapshot(&sample_bytes).expect("decode subsample");
+                let answers =
+                    ReleaseAnswersIndicator::from_snapshot(&answers_bytes).expect("decode answers");
+                let cm = CountMinSketch::<u32>::from_snapshot(&cm_bytes).expect("decode count-min");
+                let est = sample.with_threads(2).estimate_batch(&queries);
+                let ind: Vec<bool> = pair_queries.iter().map(|t| answers.is_frequent(t)).collect();
+                (est, ind, cm.estimate(&hot_item))
+            })
+            .join()
+            .expect("serving thread")
+    });
+    println!(
+        "serving tier: decoded 3 snapshots and answered {} queries in {:?}",
+        queries.len() + pair_queries.len() + 1,
+        t.elapsed()
+    );
+
+    // The split is an execution strategy, never an approximation.
+    assert_eq!(served_est, reference_est, "served estimates diverged from the build tier");
+    assert_eq!(served_ind, reference_ind, "served indicators diverged from the build tier");
+    assert_eq!(served_cm, reference_cm, "served Count-Min estimate diverged");
+    println!(
+        "identity: {} served answers bit-identical to the build tier; f(hot pair) ~ {:.4}",
+        served_est.len() + served_ind.len() + 1,
+        served_est[0]
+    );
+
+    // Version skew and corruption refuse with typed errors, not panics —
+    // what a serving tier's rollout safety depends on.
+    let mut skewed = sample_bytes.clone();
+    skewed[6] = 0xFF;
+    let refusal = Subsample::from_snapshot(&skewed).expect_err("future version must refuse");
+    println!("version skew refused as expected: {refusal}");
+}

@@ -24,7 +24,11 @@
 //!   single-pass fold (`core::streaming`), partial builds merge
 //!   bit-identically to one-shot builds, and `Database::append_rows`
 //!   extends the cached columnar views in place so an ingest-then-query
-//!   loop never re-transposes.
+//!   loop never re-transposes;
+//! * the snapshot layer (DESIGN.md §10): every sketch encodes to a
+//!   versioned, checksummed wire format (`core::snapshot`), decodes back
+//!   `==`-identically, and reports the encoded length as its
+//!   `size_bits()` — the paper's `|S|`, measured rather than claimed.
 //!
 //! ## Quickstart
 //!
@@ -60,10 +64,10 @@ pub use ifs_util as util;
 /// The items most programs need, importable with one `use`.
 pub mod prelude {
     pub use ifs_core::{
-        boosting::MedianBoost, EstimatorAsIndicator, FrequencyEstimator, FrequencyIndicator,
-        Guarantee, MergeError, MergeableSketch, Parallel, ReleaseAnswersEstimator,
-        ReleaseAnswersIndicator, ReleaseDb, ReleaseDbBuilder, Sketch, SketchParams, StreamingBuild,
-        Subsample, SubsampleBuilder, SubsampleParams,
+        boosting::MedianBoost, DecodeError, EstimatorAsIndicator, FrequencyEstimator,
+        FrequencyIndicator, Guarantee, MergeError, MergeableSketch, Parallel,
+        ReleaseAnswersEstimator, ReleaseAnswersIndicator, ReleaseDb, ReleaseDbBuilder, Sketch,
+        SketchParams, Snapshot, StreamingBuild, Subsample, SubsampleBuilder, SubsampleParams,
     };
     pub use ifs_database::{generators, ColumnStore, Database, Itemset, ShardedColumnStore};
     pub use ifs_util::Rng64;
