@@ -150,6 +150,19 @@ impl ReleaseAnswersIndicator {
     pub fn answer_count(&self) -> u64 {
         self.count
     }
+
+    /// Itemset cardinality `k` this sketch answers — queries of any other
+    /// length are outside its contract (the serving tier refuses them
+    /// before they reach [`is_frequent`](FrequencyIndicator::is_frequent),
+    /// which asserts).
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Attribute count `d` of the database the answers were built over.
+    pub fn dims(&self) -> usize {
+        self.d
+    }
 }
 
 /// Build-time parameters of the RELEASE-ANSWERS builders.
@@ -287,6 +300,17 @@ impl ReleaseAnswersEstimator {
     /// Number of stored answers (`C(d,k)`).
     pub fn answer_count(&self) -> u64 {
         self.count
+    }
+
+    /// Itemset cardinality `k` this sketch answers (see
+    /// [`ReleaseAnswersIndicator::k`]).
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Attribute count `d` of the database the answers were built over.
+    pub fn dims(&self) -> usize {
+        self.d
     }
 }
 

@@ -1,0 +1,301 @@
+//! `ifs-loadgen` — deterministic load generator and identity checker for
+//! `ifs-serve`.
+//!
+//! ```text
+//! ifs-loadgen --write-snapshots FILE [--seed N]
+//! ifs-loadgen --connect ADDR [--assume-loaded] [--batches N]
+//!             [--batch-size N] [--threads N] [--seed N] [--json PATH]
+//! ```
+//!
+//! The first form writes the demo sketch fleet (one frame per servable
+//! kind, built from a seeded database) as concatenated snapshot frames —
+//! the file `ifs-serve --snapshots` preloads. The second form drives a
+//! running server with batched queries and **verifies every answer
+//! bit-identically** against the same sketches rebuilt locally: the
+//! loadgen is an end-to-end oracle, not just a traffic source. With
+//! `--assume-loaded` the fleet is expected to be preloaded (ids `0..4` in
+//! fleet order); otherwise the loadgen sends `Load` requests itself.
+//!
+//! Latency is measured per batch round-trip; the run's p50/p99 and
+//! aggregate queries/sec land in `--json PATH` (the
+//! `bench_results/BENCH_serving.json` artifact in CI) with a `mode` field
+//! recording whether a debug or release build produced the numbers.
+
+use ifs_core::{ReleaseAnswersEstimator, ReleaseAnswersIndicator, ReleaseDb, Snapshot, Subsample};
+use ifs_database::{generators, Itemset};
+use ifs_serve::{Answers, Client, QueryMode, Request, Response, ServedSketch};
+use ifs_util::Rng64;
+use std::process::ExitCode;
+use std::time::Instant;
+
+const USAGE: &str = "usage: ifs-loadgen --write-snapshots FILE [--seed N]\n       \
+                     ifs-loadgen --connect ADDR [--assume-loaded] [--batches N] \
+                     [--batch-size N] [--threads N] [--seed N] [--json PATH]";
+
+/// Fleet shape: one database, one sketch per servable kind.
+const FLEET_ROWS: usize = 400;
+const FLEET_DIMS: usize = 48;
+const FLEET_DENSITY: f64 = 0.25;
+const FLEET_EPSILON: f64 = 0.1;
+const FLEET_SAMPLE_ROWS: usize = 64;
+const FLEET_ANSWERS_K: usize = 2;
+
+struct Args {
+    write_snapshots: Option<String>,
+    connect: Option<String>,
+    assume_loaded: bool,
+    batches: usize,
+    batch_size: usize,
+    threads: usize,
+    seed: u64,
+    json: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        write_snapshots: None,
+        connect: None,
+        assume_loaded: false,
+        batches: 64,
+        batch_size: 256,
+        threads: 2,
+        seed: 0x5EED,
+        json: None,
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(flag) = iter.next() {
+        let mut value = |name: &str| iter.next().ok_or(format!("{name} needs a value\n{USAGE}"));
+        match flag.as_str() {
+            "--write-snapshots" => args.write_snapshots = Some(value("--write-snapshots")?),
+            "--connect" => args.connect = Some(value("--connect")?),
+            "--assume-loaded" => args.assume_loaded = true,
+            "--batches" => {
+                args.batches =
+                    value("--batches")?.parse().map_err(|e| format!("--batches: {e}"))?;
+            }
+            "--batch-size" => {
+                args.batch_size =
+                    value("--batch-size")?.parse().map_err(|e| format!("--batch-size: {e}"))?;
+            }
+            "--threads" => {
+                args.threads =
+                    value("--threads")?.parse().map_err(|e| format!("--threads: {e}"))?;
+            }
+            "--seed" => args.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--json" => args.json = Some(value("--json")?),
+            other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
+        }
+    }
+    if args.write_snapshots.is_some() == args.connect.is_some() {
+        return Err(format!("exactly one of --write-snapshots or --connect\n{USAGE}"));
+    }
+    Ok(args)
+}
+
+/// The deterministic demo fleet: the frames a given seed always produces,
+/// in id order. Both the snapshot writer and the oracle rebuild from here,
+/// which is what makes cross-process identity checkable at all.
+fn fleet_frames(seed: u64) -> Vec<Vec<u8>> {
+    let mut rng = Rng64::seeded(seed);
+    let db = generators::uniform(FLEET_ROWS, FLEET_DIMS, FLEET_DENSITY, &mut rng);
+    vec![
+        ReleaseDb::build(&db, FLEET_EPSILON).snapshot_bytes(),
+        Subsample::with_sample_count_seeded(&db, FLEET_SAMPLE_ROWS, FLEET_EPSILON, seed ^ 0x51)
+            .snapshot_bytes(),
+        ReleaseAnswersIndicator::build(&db, FLEET_ANSWERS_K, FLEET_EPSILON).snapshot_bytes(),
+        ReleaseAnswersEstimator::build(&db, FLEET_ANSWERS_K, FLEET_EPSILON).snapshot_bytes(),
+    ]
+}
+
+fn write_snapshots(path: &str, seed: u64) -> Result<(), String> {
+    let frames = fleet_frames(seed);
+    let mut bytes = Vec::new();
+    for frame in &frames {
+        bytes.extend_from_slice(frame);
+    }
+    std::fs::write(path, &bytes).map_err(|e| format!("{path}: {e}"))?;
+    println!("ifs-loadgen wrote {} frames ({} bytes) to {path}", frames.len(), bytes.len());
+    Ok(())
+}
+
+/// The modes a sketch's contract can answer (fleet order mirrors ids).
+fn supported_modes(sketch: &ServedSketch) -> &'static [QueryMode] {
+    match sketch {
+        ServedSketch::Subsample(_) | ServedSketch::ReleaseDb(_) => {
+            &[QueryMode::Estimate, QueryMode::Indicator]
+        }
+        ServedSketch::AnswersIndicator(_) => &[QueryMode::Indicator],
+        ServedSketch::AnswersEstimator(_) => &[QueryMode::Estimate],
+    }
+}
+
+/// One deterministic query batch for `sketch` (respecting its cardinality
+/// contract, so every query is answerable).
+fn batch_for(sketch: &ServedSketch, size: usize, rng: &mut Rng64) -> Vec<Itemset> {
+    let dims = sketch.dims();
+    (0..size)
+        .map(|_| {
+            let len = sketch.required_len().unwrap_or_else(|| rng.below(4));
+            Itemset::new(rng.distinct_sorted(dims, len).iter().map(|&i| i as u32).collect())
+        })
+        .collect()
+}
+
+/// True iff the served answers equal the oracle's, bit for bit (estimates
+/// compare by IEEE-754 bit pattern, so NaN payloads and signed zeros
+/// count too).
+fn identical(served: &Response, oracle: &Answers) -> bool {
+    match (served, oracle) {
+        (Response::Estimates(got), Answers::Estimates(want)) => {
+            got.len() == want.len() && got.iter().zip(want).all(|(g, w)| g.to_bits() == w.to_bits())
+        }
+        (Response::Indicators(got), Answers::Indicators(want)) => got == want,
+        _ => false,
+    }
+}
+
+fn percentile_ms(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx]
+}
+
+#[allow(clippy::too_many_arguments)]
+fn write_json(
+    path: &str,
+    batches: usize,
+    batch_size: usize,
+    sketches: usize,
+    p50_ms: f64,
+    p99_ms: f64,
+    qps: f64,
+) -> Result<(), String> {
+    let mode = if cfg!(debug_assertions) { "debug" } else { "release" };
+    let queries_total = batches * batch_size;
+    let json = format!(
+        "{{\n  \"bench\": \"serving_load\",\n  \"mode\": \"{mode}\",\n  \
+         \"source\": \"loadgen\",\n  \"sketches\": {sketches},\n  \
+         \"batches\": {batches},\n  \"batch_size\": {batch_size},\n  \
+         \"queries_total\": {queries_total},\n  \"p50_ms\": {p50_ms:.3},\n  \
+         \"p99_ms\": {p99_ms:.3},\n  \"queries_per_sec\": {qps:.1},\n  \
+         \"identity_checked\": true\n}}\n"
+    );
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+        }
+    }
+    std::fs::write(path, json).map_err(|e| format!("{path}: {e}"))?;
+    println!("ifs-loadgen wrote {path}");
+    Ok(())
+}
+
+fn run_load(args: &Args) -> Result<(), String> {
+    let addr = args.connect.as_deref().expect("run mode requires --connect");
+    let frames = fleet_frames(args.seed);
+    // The local oracle: the same frames admitted through the same dispatch
+    // the server uses, so "bit-identical to the offline sharded engine" is
+    // checked end to end, process boundary included.
+    let oracle: Vec<ServedSketch> = frames
+        .iter()
+        .map(|f| ServedSketch::admit(f, args.threads).map_err(|e| e.to_string()))
+        .collect::<Result<_, _>>()?;
+
+    let mut client = Client::connect(addr, 10_000).map_err(|e| format!("{addr}: {e}"))?;
+    if !args.assume_loaded {
+        for (id, frame) in frames.iter().enumerate() {
+            let resp = client
+                .call(&Request::Load { id: id as u64, threads: args.threads, frame: frame.clone() })
+                .map_err(|e| format!("load {id}: {e}"))?
+                .map_err(|e| format!("load {id}: response refused to decode: {e}"))?;
+            match resp {
+                Response::Loaded { size_bits, .. } => {
+                    if size_bits != frame.len() as u64 * 8 {
+                        return Err(format!(
+                            "load {id}: server measured {size_bits} bits, frame is {} bits",
+                            frame.len() * 8
+                        ));
+                    }
+                }
+                other => return Err(format!("load {id}: unexpected response {other:?}")),
+            }
+        }
+    }
+
+    let mut rng = Rng64::seeded(args.seed ^ 0x10AD);
+    let mut latencies_ms = Vec::with_capacity(args.batches);
+    let started = Instant::now();
+    for b in 0..args.batches {
+        let id = b % oracle.len();
+        let sketch = &oracle[id];
+        let modes = supported_modes(sketch);
+        let mode = modes[(b / oracle.len()) % modes.len()];
+        let queries = batch_for(sketch, args.batch_size, &mut rng);
+        let expected = sketch.answer(mode, &queries).map_err(|e| format!("oracle: {e}"))?;
+        let sent = Instant::now();
+        let resp = client
+            .call(&Request::Query { id: id as u64, mode, queries })
+            .map_err(|e| format!("batch {b}: {e}"))?
+            .map_err(|e| format!("batch {b}: response refused to decode: {e}"))?;
+        latencies_ms.push(sent.elapsed().as_secs_f64() * 1e3);
+        if !identical(&resp, &expected) {
+            return Err(format!(
+                "batch {b}: served answers diverge from the offline oracle \
+                 (sketch {id}, mode {mode}, {} queries)",
+                args.batch_size
+            ));
+        }
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    let qps = (args.batches * args.batch_size) as f64 / elapsed.max(1e-9);
+
+    latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    let p50 = percentile_ms(&latencies_ms, 50.0);
+    let p99 = percentile_ms(&latencies_ms, 99.0);
+    println!(
+        "ifs-loadgen: {} batches x {} queries over {} sketches, all answers \
+         bit-identical to the offline oracle; p50 {p50:.3} ms, p99 {p99:.3} ms, \
+         {qps:.0} queries/s",
+        args.batches,
+        args.batch_size,
+        oracle.len()
+    );
+    if let Ok(Response::Stats(stats)) =
+        client.call(&Request::Stats).map_err(|e| e.to_string())?.map_err(|e| e.to_string())
+    {
+        println!(
+            "ifs-loadgen: server stats: {} admitted, {} hot ({} / {} bits), \
+             {} batches served, {} evictions",
+            stats.admitted,
+            stats.hot,
+            stats.hot_bits,
+            stats.budget_bits,
+            stats.served_batches,
+            stats.evictions
+        );
+    }
+    if let Some(path) = &args.json {
+        write_json(path, args.batches, args.batch_size, oracle.len(), p50, p99, qps)?;
+    }
+    Ok(())
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    match &args.write_snapshots {
+        Some(path) => write_snapshots(path, args.seed),
+        None => run_load(&args),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("ifs-loadgen: {msg}");
+            ExitCode::from(1)
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! `ifs-serve` — the long-running sketch server.
+//!
+//! ```text
+//! ifs-serve --listen 127.0.0.1:7464 [--snapshots FILE] [--budget-bits N]
+//!           [--max-in-flight N] [--threads N] [--accept N]
+//! ```
+//!
+//! `--snapshots FILE` preloads a file of concatenated snapshot frames
+//! (as `ifs-loadgen --write-snapshots` produces), admitting them under
+//! ids `0, 1, 2, …` in file order before the listener opens. `--accept N`
+//! serves exactly `N` connections and exits — the shape CI's end-to-end
+//! smoke uses; omit it to serve forever.
+//!
+//! Operational inputs refuse with a message and a nonzero exit, never a
+//! panic: a malformed `IFS_THREADS`, an unreadable or corrupt snapshot
+//! file, or an unbindable address all exit 2 with the typed error printed.
+
+use ifs_serve::{net, ServeConfig, SketchServer};
+use ifs_util::threads::try_env_threads;
+use std::net::TcpListener;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: ifs-serve --listen ADDR [--snapshots FILE] [--budget-bits N] \
+                     [--max-in-flight N] [--threads N] [--accept N]";
+
+struct Args {
+    listen: String,
+    snapshots: Option<String>,
+    budget_bits: u64,
+    max_in_flight: usize,
+    threads: usize,
+    accept: Option<usize>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let defaults = ServeConfig::default();
+    let mut args = Args {
+        listen: String::new(),
+        snapshots: None,
+        budget_bits: defaults.budget_bits,
+        max_in_flight: defaults.max_in_flight,
+        threads: 0,
+        accept: None,
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(flag) = iter.next() {
+        let mut value = |name: &str| iter.next().ok_or(format!("{name} needs a value\n{USAGE}"));
+        match flag.as_str() {
+            "--listen" => args.listen = value("--listen")?,
+            "--snapshots" => args.snapshots = Some(value("--snapshots")?),
+            "--budget-bits" => {
+                args.budget_bits =
+                    value("--budget-bits")?.parse().map_err(|e| format!("--budget-bits: {e}"))?;
+            }
+            "--max-in-flight" => {
+                args.max_in_flight = value("--max-in-flight")?
+                    .parse()
+                    .map_err(|e| format!("--max-in-flight: {e}"))?;
+            }
+            "--threads" => {
+                args.threads =
+                    value("--threads")?.parse().map_err(|e| format!("--threads: {e}"))?;
+            }
+            "--accept" => {
+                args.accept =
+                    Some(value("--accept")?.parse().map_err(|e| format!("--accept: {e}"))?);
+            }
+            other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
+        }
+    }
+    if args.listen.is_empty() {
+        return Err(format!("--listen is required\n{USAGE}"));
+    }
+    if args.max_in_flight == 0 {
+        return Err("--max-in-flight must be at least 1".into());
+    }
+    Ok(args)
+}
+
+/// Admits every frame in `path` (concatenated snapshot frames) under ids
+/// `0, 1, 2, …`, reporting how many were loaded.
+fn preload(server: &SketchServer, path: &str) -> Result<u64, String> {
+    let file = std::fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut reader = std::io::BufReader::new(file);
+    let mut id = 0u64;
+    loop {
+        match net::read_frame(&mut reader).map_err(|e| format!("{path}: {e}"))? {
+            None => return Ok(id),
+            Some(Err(e)) => return Err(format!("{path}: frame {id}: {e}")),
+            Some(Ok(frame)) => {
+                server.load_frame(id, 0, &frame).map_err(|e| format!("{path}: frame {id}: {e}"))?;
+                id += 1;
+            }
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    // The non-panicking env parse: a bad IFS_THREADS refuses the whole
+    // process startup with a message instead of a panic mid-serve.
+    let env_threads = try_env_threads().map_err(|e| e.to_string())?;
+    let mut args = parse_args()?;
+    if args.threads == 0 {
+        args.threads = env_threads;
+    }
+    let server = SketchServer::new(ServeConfig {
+        budget_bits: args.budget_bits,
+        max_in_flight: args.max_in_flight,
+        default_threads: args.threads,
+    });
+    if let Some(path) = &args.snapshots {
+        let loaded = preload(&server, path)?;
+        eprintln!("ifs-serve preloaded {loaded} sketches from {path}");
+    }
+    let listener = TcpListener::bind(&args.listen).map_err(|e| format!("{}: {e}", args.listen))?;
+    let local = listener.local_addr().map_err(|e| e.to_string())?;
+    // Announce readiness on stdout so scripts can wait for this line.
+    println!("ifs-serve listening on {local}");
+    net::serve_listener(&server, &listener, args.accept).map_err(|e| e.to_string())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("ifs-serve: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,309 @@
+//! The serving tier's refusal taxonomy.
+//!
+//! Everything a [`SketchServer`](crate::server::SketchServer) can refuse is
+//! one of these variants, and every variant crosses the wire losslessly
+//! inside [`Response::Error`](crate::protocol::Response::Error): a client
+//! sees the *same* typed refusal the server produced, not a stringly
+//! flattened copy. Nothing on these paths panics — a long-running process
+//! answering untrusted bytes must refuse, never die (DESIGN.md §11).
+
+use crate::protocol::QueryMode;
+use ifs_database::codec::{DecodeError, Reader, Writer};
+
+/// Why the serving tier refused a request (or a snapshot frame).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// Bytes failed to decode — a malformed request frame, or a snapshot
+    /// frame refused at admission by the [`DecodeError`] taxonomy
+    /// (truncation, bad magic, version skew, checksum mismatch, …).
+    Decode(DecodeError),
+    /// The snapshot frame is well-formed but its kind is not one the
+    /// serving tier can answer queries from (partial builds and the
+    /// counter sketches are shipped to mergers, not servers).
+    UnservableKind {
+        /// Kind tag found in the frame.
+        kind: u16,
+    },
+    /// No sketch is admitted under this id.
+    UnknownSketch {
+        /// The id the query named.
+        id: u64,
+    },
+    /// A single frame larger than the whole hot-set budget can never be
+    /// decoded without blowing the memory bound, so admission refuses it
+    /// up front instead of thrashing the LRU forever.
+    FrameOverBudget {
+        /// Measured size of the offered frame, in bits.
+        size_bits: u64,
+        /// The configured hot-set budget, in bits.
+        budget_bits: u64,
+    },
+    /// The sketch exists but its contract cannot answer this query mode
+    /// (e.g. estimate queries against a pure indicator sketch).
+    Unanswerable {
+        /// Kind tag of the admitted sketch.
+        kind: u16,
+        /// The query mode that was requested.
+        mode: QueryMode,
+    },
+    /// A query in the batch is outside the sketch's contract — an item out
+    /// of range, or the wrong cardinality for a RELEASE-ANSWERS sketch.
+    /// Refused *before* dispatch: the offline query paths assert on such
+    /// inputs, and a server must refuse rather than die.
+    BadQuery {
+        /// Index of the offending query within the batch.
+        index: u64,
+        /// What the query violated.
+        reason: String,
+    },
+    /// The server is at its bounded in-flight batch limit; the client
+    /// should back off and retry. This is the explicit backpressure that
+    /// replaces unbounded queueing.
+    Overloaded {
+        /// Batches in flight when the request arrived.
+        in_flight: u64,
+        /// The configured bound.
+        limit: u64,
+    },
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Decode(e) => write!(f, "refused to decode: {e}"),
+            ServeError::UnservableKind { kind } => {
+                write!(
+                    f,
+                    "kind-{kind} frames are not servable (mergeable partials and counter \
+                           sketches ship to mergers, not servers)"
+                )
+            }
+            ServeError::UnknownSketch { id } => write!(f, "no sketch admitted under id {id}"),
+            ServeError::FrameOverBudget { size_bits, budget_bits } => {
+                write!(f, "frame of {size_bits} bits exceeds the {budget_bits}-bit hot-set budget")
+            }
+            ServeError::Unanswerable { kind, mode } => {
+                write!(f, "kind-{kind} sketches cannot answer {mode} queries")
+            }
+            ServeError::BadQuery { index, reason } => {
+                write!(f, "query {index} outside the sketch's contract: {reason}")
+            }
+            ServeError::Overloaded { in_flight, limit } => {
+                write!(f, "server overloaded: {in_flight} batches in flight (limit {limit})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<DecodeError> for ServeError {
+    fn from(e: DecodeError) -> Self {
+        ServeError::Decode(e)
+    }
+}
+
+// Wire tags. A `ServeError` rides inside `Response::Error`, so its codec
+// lives here next to the type; the framing is the response's.
+const TAG_DECODE: u8 = 1;
+const TAG_UNSERVABLE: u8 = 2;
+const TAG_UNKNOWN: u8 = 3;
+const TAG_OVER_BUDGET: u8 = 4;
+const TAG_UNANSWERABLE: u8 = 5;
+const TAG_BAD_QUERY: u8 = 6;
+const TAG_OVERLOADED: u8 = 7;
+
+// DecodeError subtags.
+const DTAG_TRUNCATED: u8 = 1;
+const DTAG_BAD_MAGIC: u8 = 2;
+const DTAG_WRONG_KIND: u8 = 3;
+const DTAG_UNSUPPORTED_VERSION: u8 = 4;
+const DTAG_TRAILING: u8 = 5;
+const DTAG_CHECKSUM: u8 = 6;
+const DTAG_CORRUPT: u8 = 7;
+
+fn write_str(w: &mut Writer, s: &str) {
+    w.varint(s.len() as u64);
+    w.bytes(s.as_bytes());
+}
+
+fn read_str(r: &mut Reader) -> Result<String, DecodeError> {
+    let len = r.varint_usize()?;
+    let raw = r.bytes(len)?;
+    String::from_utf8(raw.to_vec())
+        .map_err(|_| DecodeError::Corrupt("error message is not UTF-8".into()))
+}
+
+impl ServeError {
+    /// Encodes the refusal into a response body fragment.
+    pub(crate) fn encode(&self, w: &mut Writer) {
+        match self {
+            ServeError::Decode(e) => {
+                w.u8(TAG_DECODE);
+                match e {
+                    DecodeError::Truncated { needed, available } => {
+                        w.u8(DTAG_TRUNCATED);
+                        w.varint(*needed as u64);
+                        w.varint(*available as u64);
+                    }
+                    DecodeError::BadMagic(m) => {
+                        w.u8(DTAG_BAD_MAGIC);
+                        w.u32(*m);
+                    }
+                    DecodeError::WrongKind { expected, got } => {
+                        w.u8(DTAG_WRONG_KIND);
+                        w.varint(u64::from(*expected));
+                        w.varint(u64::from(*got));
+                    }
+                    DecodeError::UnsupportedVersion { kind, got, supported } => {
+                        w.u8(DTAG_UNSUPPORTED_VERSION);
+                        w.varint(u64::from(*kind));
+                        w.varint(u64::from(*got));
+                        w.varint(u64::from(*supported));
+                    }
+                    DecodeError::TrailingBytes { extra } => {
+                        w.u8(DTAG_TRAILING);
+                        w.varint(*extra as u64);
+                    }
+                    DecodeError::ChecksumMismatch { expected, actual } => {
+                        w.u8(DTAG_CHECKSUM);
+                        w.u64(*expected);
+                        w.u64(*actual);
+                    }
+                    DecodeError::Corrupt(what) => {
+                        w.u8(DTAG_CORRUPT);
+                        write_str(w, what);
+                    }
+                }
+            }
+            ServeError::UnservableKind { kind } => {
+                w.u8(TAG_UNSERVABLE);
+                w.varint(u64::from(*kind));
+            }
+            ServeError::UnknownSketch { id } => {
+                w.u8(TAG_UNKNOWN);
+                w.varint(*id);
+            }
+            ServeError::FrameOverBudget { size_bits, budget_bits } => {
+                w.u8(TAG_OVER_BUDGET);
+                w.varint(*size_bits);
+                w.varint(*budget_bits);
+            }
+            ServeError::Unanswerable { kind, mode } => {
+                w.u8(TAG_UNANSWERABLE);
+                w.varint(u64::from(*kind));
+                w.u8(mode.wire_tag());
+            }
+            ServeError::BadQuery { index, reason } => {
+                w.u8(TAG_BAD_QUERY);
+                w.varint(*index);
+                write_str(w, reason);
+            }
+            ServeError::Overloaded { in_flight, limit } => {
+                w.u8(TAG_OVERLOADED);
+                w.varint(*in_flight);
+                w.varint(*limit);
+            }
+        }
+    }
+
+    /// Decodes a refusal written by [`encode`](Self::encode).
+    pub(crate) fn decode(r: &mut Reader) -> Result<Self, DecodeError> {
+        let u16_of = |v: u64, what: &str| {
+            u16::try_from(v).map_err(|_| DecodeError::Corrupt(format!("{what} exceeds u16")))
+        };
+        match r.u8()? {
+            TAG_DECODE => {
+                let inner = match r.u8()? {
+                    DTAG_TRUNCATED => DecodeError::Truncated {
+                        needed: r.varint_usize()?,
+                        available: r.varint_usize()?,
+                    },
+                    DTAG_BAD_MAGIC => DecodeError::BadMagic(r.u32()?),
+                    DTAG_WRONG_KIND => DecodeError::WrongKind {
+                        expected: u16_of(r.varint()?, "expected kind")?,
+                        got: u16_of(r.varint()?, "got kind")?,
+                    },
+                    DTAG_UNSUPPORTED_VERSION => DecodeError::UnsupportedVersion {
+                        kind: u16_of(r.varint()?, "kind")?,
+                        got: u16_of(r.varint()?, "version")?,
+                        supported: u16_of(r.varint()?, "supported version")?,
+                    },
+                    DTAG_TRAILING => DecodeError::TrailingBytes { extra: r.varint_usize()? },
+                    DTAG_CHECKSUM => {
+                        DecodeError::ChecksumMismatch { expected: r.u64()?, actual: r.u64()? }
+                    }
+                    DTAG_CORRUPT => DecodeError::Corrupt(read_str(r)?),
+                    t => return Err(DecodeError::Corrupt(format!("unknown decode-error tag {t}"))),
+                };
+                Ok(ServeError::Decode(inner))
+            }
+            TAG_UNSERVABLE => Ok(ServeError::UnservableKind { kind: u16_of(r.varint()?, "kind")? }),
+            TAG_UNKNOWN => Ok(ServeError::UnknownSketch { id: r.varint()? }),
+            TAG_OVER_BUDGET => {
+                Ok(ServeError::FrameOverBudget { size_bits: r.varint()?, budget_bits: r.varint()? })
+            }
+            TAG_UNANSWERABLE => Ok(ServeError::Unanswerable {
+                kind: u16_of(r.varint()?, "kind")?,
+                mode: QueryMode::from_wire_tag(r.u8()?)?,
+            }),
+            TAG_BAD_QUERY => Ok(ServeError::BadQuery { index: r.varint()?, reason: read_str(r)? }),
+            TAG_OVERLOADED => {
+                Ok(ServeError::Overloaded { in_flight: r.varint()?, limit: r.varint()? })
+            }
+            t => Err(DecodeError::Corrupt(format!("unknown serve-error tag {t}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_variant_roundtrips_on_the_wire() {
+        let cases = vec![
+            ServeError::Decode(DecodeError::Truncated { needed: 8, available: 3 }),
+            ServeError::Decode(DecodeError::BadMagic(0xDEAD_BEEF)),
+            ServeError::Decode(DecodeError::WrongKind { expected: 64, got: 7 }),
+            ServeError::Decode(DecodeError::UnsupportedVersion { kind: 1, got: 9, supported: 1 }),
+            ServeError::Decode(DecodeError::TrailingBytes { extra: 4 }),
+            ServeError::Decode(DecodeError::ChecksumMismatch { expected: 1, actual: 2 }),
+            ServeError::Decode(DecodeError::Corrupt("field x".into())),
+            ServeError::UnservableKind { kind: 7 },
+            ServeError::UnknownSketch { id: 42 },
+            ServeError::FrameOverBudget { size_bits: 1 << 40, budget_bits: 1 << 20 },
+            ServeError::Unanswerable { kind: 3, mode: QueryMode::Estimate },
+            ServeError::Unanswerable { kind: 4, mode: QueryMode::Indicator },
+            ServeError::BadQuery { index: 17, reason: "item 99 out of range".into() },
+            ServeError::Overloaded { in_flight: 64, limit: 64 },
+        ];
+        for e in cases {
+            let mut w = Writer::new();
+            e.encode(&mut w);
+            let bytes = w.into_bytes();
+            let mut r = Reader::new(&bytes);
+            assert_eq!(ServeError::decode(&mut r).expect("roundtrip"), e);
+            assert_eq!(r.remaining(), 0, "{e}: codec must consume exactly its bytes");
+        }
+    }
+
+    #[test]
+    fn unknown_tags_refuse() {
+        let mut r = Reader::new(&[0xEE]);
+        assert!(matches!(ServeError::decode(&mut r), Err(DecodeError::Corrupt(_))));
+        let mut r = Reader::new(&[TAG_DECODE, 0xEE]);
+        assert!(matches!(ServeError::decode(&mut r), Err(DecodeError::Corrupt(_))));
+    }
+
+    #[test]
+    fn truncated_error_bytes_refuse() {
+        let mut w = Writer::new();
+        ServeError::BadQuery { index: 3, reason: "too long".into() }.encode(&mut w);
+        let bytes = w.into_bytes();
+        for cut in 0..bytes.len() {
+            let mut r = Reader::new(&bytes[..cut]);
+            assert!(ServeError::decode(&mut r).is_err(), "prefix {cut} decoded");
+        }
+    }
+}

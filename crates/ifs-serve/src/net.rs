@@ -1,0 +1,238 @@
+//! Blocking TCP transport for the serving protocol.
+//!
+//! The wire carries exactly the byte strings [`crate::protocol`] produces:
+//! self-delimiting frames (8-byte header, varint body length, body, 8-byte
+//! checksum), so the transport's only jobs are to find frame boundaries in
+//! the stream and to bound how much a peer can make the server buffer.
+//! Everything semantic — checksums, kinds, versions, body tags — is judged
+//! by the codec layer after the frame is reassembled, which keeps the
+//! adversarial-input story in one place.
+//!
+//! A framing-level problem (wrong magic, a declared length over
+//! [`MAX_WIRE_FRAME`]) leaves the stream position meaningless, so the
+//! server answers with one typed error response and closes the connection;
+//! in-frame corruption (bad checksum, unknown tag) is recoverable and the
+//! connection stays open.
+
+use crate::protocol::{Request, Response};
+use crate::server::SketchServer;
+use ifs_database::codec::{DecodeError, SNAPSHOT_MAGIC};
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+
+/// Upper bound on a single wire frame's declared body length, in bytes
+/// (1 GiB). A peer can therefore never make the transport buffer more
+/// than this (plus the fixed header/checksum overhead) per frame.
+pub const MAX_WIRE_FRAME: usize = 1 << 30;
+
+/// Reads one complete frame from `stream`.
+///
+/// - `Ok(None)` — the peer closed the connection cleanly at a frame
+///   boundary.
+/// - `Ok(Some(Ok(bytes)))` — one whole frame, ready for the codec layer.
+/// - `Ok(Some(Err(e)))` — the stream is not speaking the frame format
+///   (bad magic, oversized or malformed length); the caller should answer
+///   once and close, since the next frame boundary is unknowable.
+/// - `Err(_)` — transport failure (including mid-frame EOF).
+pub fn read_frame<R: Read>(stream: &mut R) -> io::Result<Option<Result<Vec<u8>, DecodeError>>> {
+    // Header: magic u32 + kind u16 + version u16. EOF before the first
+    // byte is a clean close; EOF after it is a truncated frame.
+    let mut header = [0u8; 8];
+    match stream.read_exact(&mut header[..1]) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    stream.read_exact(&mut header[1..])?;
+    let magic = u32::from_le_bytes(header[..4].try_into().expect("4 bytes"));
+    if magic != SNAPSHOT_MAGIC {
+        return Ok(Some(Err(DecodeError::BadMagic(magic))));
+    }
+    let mut frame = header.to_vec();
+    // Varint body length, byte-wise off the stream.
+    let mut body_len = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let mut b = [0u8; 1];
+        stream.read_exact(&mut b)?;
+        frame.push(b[0]);
+        let payload = u64::from(b[0] & 0x7F);
+        if shift >= 63 && payload > 1 {
+            return Ok(Some(Err(DecodeError::Corrupt("frame length varint overflows u64".into()))));
+        }
+        body_len |= payload << shift;
+        if b[0] & 0x80 == 0 {
+            break;
+        }
+        shift += 7;
+        if shift > 63 {
+            return Ok(Some(Err(DecodeError::Corrupt(
+                "frame length varint continues beyond 10 bytes".into(),
+            ))));
+        }
+    }
+    if body_len > MAX_WIRE_FRAME as u64 {
+        return Ok(Some(Err(DecodeError::Corrupt(format!(
+            "frame declares a {body_len}-byte body, transport cap is {MAX_WIRE_FRAME}"
+        )))));
+    }
+    // Body + trailing u64 checksum; validated by the codec layer.
+    let start = frame.len();
+    frame.resize(start + body_len as usize + 8, 0);
+    stream.read_exact(&mut frame[start..])?;
+    Ok(Some(Ok(frame)))
+}
+
+/// Writes one already-framed message and flushes it.
+pub fn write_frame<W: Write>(stream: &mut W, frame: &[u8]) -> io::Result<()> {
+    stream.write_all(frame)?;
+    stream.flush()
+}
+
+/// Serves one connection to completion: one response frame per request
+/// frame, in order. Returns when the peer closes, the transport fails, or
+/// an unframeable byte stream forces a close (after a final typed error
+/// response). No peer input panics this loop.
+pub fn serve_connection(server: &SketchServer, stream: &mut TcpStream) -> io::Result<()> {
+    loop {
+        match read_frame(stream)? {
+            None => return Ok(()),
+            Some(Ok(frame)) => write_frame(stream, &server.handle(&frame))?,
+            Some(Err(e)) => {
+                write_frame(stream, &Response::Error(e.into()).to_bytes())?;
+                return Ok(());
+            }
+        }
+    }
+}
+
+/// Accept loop: serves each connection on its own scoped thread, sharing
+/// one [`SketchServer`] (and therefore one hot set and one in-flight
+/// bound) across all of them. With `accept_limit = Some(n)`, returns after
+/// `n` connections have been accepted *and served* — the shape CI's e2e
+/// smoke uses; `None` loops forever.
+pub fn serve_listener(
+    server: &SketchServer,
+    listener: &TcpListener,
+    accept_limit: Option<usize>,
+) -> io::Result<()> {
+    std::thread::scope(|scope| {
+        let mut accepted = 0usize;
+        loop {
+            if let Some(limit) = accept_limit {
+                if accepted >= limit {
+                    break;
+                }
+            }
+            let (mut stream, _peer) = listener.accept()?;
+            accepted += 1;
+            scope.spawn(move || {
+                // A connection dying mid-write only affects that peer.
+                let _ = serve_connection(server, &mut stream);
+            });
+        }
+        Ok(())
+    })
+}
+
+/// A blocking client for the serving protocol: one call, one response.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Wraps an established connection.
+    pub fn new(stream: TcpStream) -> Self {
+        Self { stream }
+    }
+
+    /// Connects to `addr`, retrying for roughly `retry_ms` milliseconds —
+    /// enough slack for a just-spawned server process to reach `bind`.
+    pub fn connect(addr: &str, retry_ms: u64) -> io::Result<Self> {
+        let mut waited = 0u64;
+        loop {
+            match TcpStream::connect(addr) {
+                Ok(stream) => return Ok(Self::new(stream)),
+                Err(e) if waited >= retry_ms => return Err(e),
+                Err(_) => {
+                    std::thread::sleep(std::time::Duration::from_millis(50));
+                    waited += 50;
+                }
+            }
+        }
+    }
+
+    /// Sends one request and blocks for its response. The outer `Err` is
+    /// transport failure (including the server closing mid-call); the
+    /// inner `Err` means the response bytes refused to decode.
+    pub fn call(&mut self, request: &Request) -> io::Result<Result<Response, DecodeError>> {
+        write_frame(&mut self.stream, &request.to_bytes())?;
+        match read_frame(&mut self.stream)? {
+            None => {
+                Err(io::Error::new(io::ErrorKind::UnexpectedEof, "server closed before responding"))
+            }
+            Some(Ok(frame)) => Ok(Response::from_bytes(&frame)),
+            Some(Err(e)) => Ok(Err(e)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::ServerStats;
+    use crate::server::ServeConfig;
+
+    #[test]
+    fn frames_roundtrip_over_a_byte_stream() {
+        let frame = Request::Stats.to_bytes();
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &frame).unwrap();
+        write_frame(&mut wire, &frame).unwrap();
+        let mut cursor = &wire[..];
+        for _ in 0..2 {
+            let got = read_frame(&mut cursor).unwrap().expect("frame").expect("well-formed");
+            assert_eq!(got, frame);
+        }
+        assert!(read_frame(&mut cursor).unwrap().is_none(), "clean EOF after the last frame");
+    }
+
+    #[test]
+    fn unframeable_streams_refuse_without_panicking() {
+        // Wrong magic.
+        let mut junk = &b"NOTAFRAMEATALL!!"[..];
+        assert!(matches!(read_frame(&mut junk).unwrap(), Some(Err(DecodeError::BadMagic(_)))));
+        // A declared body length over the transport cap.
+        let mut frame = SNAPSHOT_MAGIC.to_le_bytes().to_vec();
+        frame.extend_from_slice(&64u16.to_le_bytes());
+        frame.extend_from_slice(&1u16.to_le_bytes());
+        frame.extend_from_slice(&[0xFF; 9]); // huge varint
+        frame.push(0x01);
+        let mut cursor = &frame[..];
+        assert!(matches!(read_frame(&mut cursor).unwrap(), Some(Err(DecodeError::Corrupt(_)))));
+        // Mid-frame EOF is a transport error, not a panic.
+        let whole = Request::Stats.to_bytes();
+        let mut cut = &whole[..whole.len() - 3];
+        assert!(read_frame(&mut cut).is_err());
+    }
+
+    #[test]
+    fn tcp_end_to_end_stats_roundtrip() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = SketchServer::new(ServeConfig::default());
+        std::thread::scope(|scope| {
+            scope.spawn(|| serve_listener(&server, &listener, Some(1)).expect("serve one"));
+            let mut client = Client::connect(&addr, 2_000).expect("connect");
+            let resp = client.call(&Request::Stats).expect("transport").expect("decode");
+            assert_eq!(
+                resp,
+                Response::Stats(ServerStats {
+                    budget_bits: ServeConfig::default().budget_bits,
+                    max_in_flight: ServeConfig::default().max_in_flight as u64,
+                    ..ServerStats::default()
+                })
+            );
+        });
+    }
+}

@@ -1,0 +1,323 @@
+//! The sketch server: admitted frames, a hot set, and bounded in-flight
+//! query batches.
+//!
+//! [`SketchServer`] is transport-agnostic — [`handle`](SketchServer::handle)
+//! maps one request frame to one response frame, and the TCP layer
+//! ([`crate::net`]) is just a loop around it. All state sits behind one
+//! mutex, but query batches execute *outside* it on an [`Arc`]'d sketch,
+//! so concurrent connections overlap their (dominant) batch work and the
+//! lock guards only admissions and LRU bookkeeping.
+//!
+//! Backpressure is explicit: at most
+//! [`max_in_flight`](ServeConfig::max_in_flight) query batches may be
+//! executing (or waiting on the state lock) at once. The slot is taken
+//! *before* any work and released when the batch's answers are encoded;
+//! a request arriving with every slot taken is answered immediately with
+//! a typed [`ServeError::Overloaded`] instead of joining an unbounded
+//! queue — under saturation the server's latency stays bounded and the
+//! refusal tells the client to back off.
+
+use crate::error::ServeError;
+use crate::hot::HotSet;
+use crate::protocol::{QueryMode, Request, Response, ServerStats};
+use crate::sketch::{Answers, ServedSketch};
+use ifs_database::Itemset;
+use ifs_util::threads::clamp_threads;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Operator knobs of a [`SketchServer`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Hot-set budget: the sum of measured `size_bits` over decoded
+    /// sketches never exceeds this.
+    pub budget_bits: u64,
+    /// Bound on concurrently executing query batches; the explicit
+    /// backpressure limit.
+    pub max_in_flight: usize,
+    /// Thread knob applied to sketches loaded with `threads = 0`.
+    pub default_threads: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        // 512 MiB of decoded sketches, 64 concurrent batches, serial
+        // queries unless a load says otherwise.
+        Self { budget_bits: 1 << 32, max_in_flight: 64, default_threads: 1 }
+    }
+}
+
+/// One admitted frame: the encoded bytes (always retained; the hot set
+/// only ever holds the decoded form) plus the knobs to re-decode it.
+struct AdmittedFrame {
+    bytes: Vec<u8>,
+    threads: usize,
+    size_bits: u64,
+}
+
+struct ServeState {
+    admitted: std::collections::BTreeMap<u64, AdmittedFrame>,
+    hot: HotSet,
+    served_batches: u64,
+}
+
+/// A long-running sketch-serving process: loads versioned snapshot frames,
+/// keeps a hot set decoded under an LRU bit budget, and answers batched
+/// itemset queries on the sharded engine.
+pub struct SketchServer {
+    config: ServeConfig,
+    state: Mutex<ServeState>,
+    in_flight: AtomicUsize,
+}
+
+/// An occupied in-flight slot; dropping it releases the slot. Holding one
+/// is what admits a query batch past the backpressure bound.
+pub struct BatchSlot<'a> {
+    counter: &'a AtomicUsize,
+}
+
+impl Drop for BatchSlot<'_> {
+    fn drop(&mut self) {
+        self.counter.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+impl SketchServer {
+    /// A server with the given knobs and an empty hot set.
+    pub fn new(config: ServeConfig) -> Self {
+        let budget = config.budget_bits;
+        Self {
+            config,
+            state: Mutex::new(ServeState {
+                admitted: std::collections::BTreeMap::new(),
+                hot: HotSet::new(budget),
+                served_batches: 0,
+            }),
+            in_flight: AtomicUsize::new(0),
+        }
+    }
+
+    /// The configured knobs.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Tries to occupy an in-flight batch slot, refusing with a typed
+    /// [`ServeError::Overloaded`] when the bound is reached. The TCP layer
+    /// and [`handle`](Self::handle) call this per query batch; tests hold
+    /// slots directly to drive the server to saturation deterministically.
+    pub fn try_begin_batch(&self) -> Result<BatchSlot<'_>, ServeError> {
+        let limit = self.config.max_in_flight;
+        let mut current = self.in_flight.load(Ordering::Acquire);
+        loop {
+            if current >= limit {
+                return Err(ServeError::Overloaded {
+                    in_flight: current as u64,
+                    limit: limit as u64,
+                });
+            }
+            match self.in_flight.compare_exchange_weak(
+                current,
+                current + 1,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return Ok(BatchSlot { counter: &self.in_flight }),
+                Err(seen) => current = seen,
+            }
+        }
+    }
+
+    /// Admits a snapshot frame under `id`, validating it end to end
+    /// (framing, checksum, body, servable kind) and warming the hot set
+    /// with the decoded sketch. Returns `(kind, size_bits, evicted ids)`.
+    pub fn load_frame(
+        &self,
+        id: u64,
+        threads: usize,
+        frame: &[u8],
+    ) -> Result<(u16, u64, Vec<u64>), ServeError> {
+        let size_bits = frame.len() as u64 * 8;
+        if size_bits > self.config.budget_bits {
+            return Err(ServeError::FrameOverBudget {
+                size_bits,
+                budget_bits: self.config.budget_bits,
+            });
+        }
+        let threads = if threads == 0 {
+            clamp_threads(self.config.default_threads)
+        } else {
+            clamp_threads(threads)
+        };
+        // Decode outside the lock: admission of a large frame must not
+        // stall queries against other sketches.
+        let sketch = ServedSketch::admit(frame, threads)?;
+        let kind = sketch.kind();
+        let mut state = self.state.lock().expect("server state poisoned");
+        state.admitted.insert(id, AdmittedFrame { bytes: frame.to_vec(), threads, size_bits });
+        let evicted = state.hot.insert(id, Arc::new(sketch), size_bits);
+        Ok((kind, size_bits, evicted))
+    }
+
+    /// The decoded sketch at `id`, reloading it from the admitted frame
+    /// bytes (and evicting as needed) if it is not hot.
+    fn hot_or_reload(&self, id: u64) -> Result<Arc<ServedSketch>, ServeError> {
+        let mut state = self.state.lock().expect("server state poisoned");
+        if let Some(sketch) = state.hot.get(id) {
+            return Ok(sketch);
+        }
+        let frame = state.admitted.get(&id).ok_or(ServeError::UnknownSketch { id })?;
+        // Admission already validated these bytes; a failure here would
+        // mean in-memory corruption, which still must not panic a server.
+        let sketch = Arc::new(ServedSketch::admit(&frame.bytes, frame.threads)?);
+        let size_bits = frame.size_bits;
+        state.hot.insert(id, Arc::clone(&sketch), size_bits);
+        Ok(sketch)
+    }
+
+    /// Answers one query batch from the sketch at `id`. The caller must
+    /// hold a [`BatchSlot`]; batch execution runs outside the state lock.
+    pub fn query(
+        &self,
+        _slot: &BatchSlot<'_>,
+        id: u64,
+        mode: QueryMode,
+        queries: &[Itemset],
+    ) -> Result<Answers, ServeError> {
+        let sketch = self.hot_or_reload(id)?;
+        let answers = sketch.answer(mode, queries)?;
+        self.state.lock().expect("server state poisoned").served_batches += 1;
+        Ok(answers)
+    }
+
+    /// Occupancy and traffic counters.
+    pub fn stats(&self) -> ServerStats {
+        let state = self.state.lock().expect("server state poisoned");
+        ServerStats {
+            admitted: state.admitted.len() as u64,
+            hot: state.hot.len() as u64,
+            hot_bits: state.hot.hot_bits(),
+            budget_bits: state.hot.budget_bits(),
+            in_flight: self.in_flight.load(Ordering::Acquire) as u64,
+            max_in_flight: self.config.max_in_flight as u64,
+            served_batches: state.served_batches,
+            evictions: state.hot.evictions(),
+        }
+    }
+
+    /// Ids currently decoded, least-recently-used first (observability for
+    /// tests and operators; not part of the wire protocol).
+    pub fn hot_ids(&self) -> Vec<u64> {
+        self.state.lock().expect("server state poisoned").hot.ids_by_recency().to_vec()
+    }
+
+    /// Maps one request frame to one response frame — the whole serving
+    /// tier as a pure function over byte strings. Malformed requests,
+    /// refusals, and answers all come back as encoded [`Response`]s; no
+    /// input can panic this path.
+    pub fn handle(&self, request: &[u8]) -> Vec<u8> {
+        let request = match Request::from_bytes(request) {
+            Ok(r) => r,
+            Err(e) => return Response::Error(ServeError::Decode(e)).to_bytes(),
+        };
+        let response = match request {
+            Request::Load { id, threads, frame } => match self.load_frame(id, threads, &frame) {
+                Ok((kind, size_bits, evicted)) => Response::Loaded { id, kind, size_bits, evicted },
+                Err(e) => Response::Error(e),
+            },
+            Request::Query { id, mode, queries } => match self.try_begin_batch() {
+                Err(e) => Response::Error(e),
+                Ok(slot) => match self.query(&slot, id, mode, &queries) {
+                    Ok(Answers::Estimates(v)) => Response::Estimates(v),
+                    Ok(Answers::Indicators(v)) => Response::Indicators(v),
+                    Err(e) => Response::Error(e),
+                },
+            },
+            Request::Stats => Response::Stats(self.stats()),
+        };
+        response.to_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ifs_core::{FrequencyEstimator, ReleaseDb, Snapshot};
+    use ifs_database::Database;
+
+    fn demo() -> (ReleaseDb, Vec<u8>) {
+        let db = Database::from_rows(5, &[vec![0, 1], vec![0], vec![1, 2], vec![0, 1, 4], vec![3]]);
+        let sketch = ReleaseDb::build(&db, 0.3);
+        let bytes = sketch.snapshot_bytes();
+        (sketch, bytes)
+    }
+
+    #[test]
+    fn load_then_query_matches_offline_answers() {
+        let (offline, frame) = demo();
+        let server = SketchServer::new(ServeConfig::default());
+        let (kind, size_bits, evicted) = server.load_frame(7, 2, &frame).expect("admit");
+        assert_eq!(kind, ifs_core::snapshot::KIND_RELEASE_DB);
+        assert_eq!(size_bits, frame.len() as u64 * 8);
+        assert!(evicted.is_empty());
+        let queries = vec![Itemset::empty(), Itemset::singleton(0), Itemset::new(vec![0, 1])];
+        let slot = server.try_begin_batch().expect("idle server has slots");
+        let answers = server.query(&slot, 7, QueryMode::Estimate, &queries).expect("served");
+        assert_eq!(answers, Answers::Estimates(offline.estimate_batch(&queries)));
+        assert_eq!(server.stats().served_batches, 1);
+    }
+
+    #[test]
+    fn unknown_ids_and_empty_hot_sets_refuse_typed() {
+        let server = SketchServer::new(ServeConfig::default());
+        let slot = server.try_begin_batch().unwrap();
+        assert_eq!(
+            server.query(&slot, 3, QueryMode::Estimate, &[]),
+            Err(ServeError::UnknownSketch { id: 3 })
+        );
+    }
+
+    #[test]
+    fn over_budget_frames_refuse_at_admission() {
+        let (_, frame) = demo();
+        let budget = frame.len() as u64 * 8 - 1;
+        let server =
+            SketchServer::new(ServeConfig { budget_bits: budget, ..ServeConfig::default() });
+        assert_eq!(
+            server.load_frame(0, 1, &frame),
+            Err(ServeError::FrameOverBudget {
+                size_bits: frame.len() as u64 * 8,
+                budget_bits: budget
+            })
+        );
+        // Nothing was admitted: the id is still unknown.
+        assert_eq!(server.stats().admitted, 0);
+    }
+
+    #[test]
+    fn saturation_refuses_instead_of_queueing() {
+        let (_, frame) = demo();
+        let server = SketchServer::new(ServeConfig { max_in_flight: 2, ..ServeConfig::default() });
+        server.load_frame(0, 1, &frame).expect("admit");
+        let a = server.try_begin_batch().expect("slot 1");
+        let _b = server.try_begin_batch().expect("slot 2");
+        assert_eq!(
+            server.try_begin_batch().map(|_| ()),
+            Err(ServeError::Overloaded { in_flight: 2, limit: 2 })
+        );
+        drop(a);
+        let c = server.try_begin_batch().expect("released slot is reusable");
+        assert!(server.query(&c, 0, QueryMode::Estimate, &[Itemset::empty()]).is_ok());
+    }
+
+    #[test]
+    fn handle_is_total_over_byte_strings() {
+        let server = SketchServer::new(ServeConfig::default());
+        // Garbage, truncation, and a valid frame all produce decodable
+        // responses.
+        for input in [&b""[..], b"garbage", &Request::Stats.to_bytes()] {
+            let out = server.handle(input);
+            Response::from_bytes(&out).expect("every response must decode");
+        }
+    }
+}

@@ -24,20 +24,67 @@ pub fn clamp_threads(threads: usize) -> usize {
     threads.clamp(1, MAX_THREADS)
 }
 
+/// An `IFS_THREADS` value that did not parse as a thread count.
+///
+/// Carries the offending value so a boundary that refuses to start (a
+/// long-running server, say) can name exactly what was malformed; the
+/// [`Display`](std::fmt::Display) text is the same sentence
+/// [`parse_threads`] panics with.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ThreadsParseError {
+    /// The malformed value, verbatim.
+    pub value: String,
+}
+
+impl std::fmt::Display for ThreadsParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "IFS_THREADS must be an integer in 0..={MAX_THREADS} (0 means serial), \
+             got {:?} — unset it to default to 1 thread",
+            self.value
+        )
+    }
+}
+
+impl std::error::Error for ThreadsParseError {}
+
+/// Parses an `IFS_THREADS` value, clamping it like [`clamp_threads`] —
+/// the non-panicking form for process boundaries.
+///
+/// CLI and bench tools want the [`parse_threads`] panic (fail loud, right
+/// now, in the operator's face); a long-running server must instead refuse
+/// to *start* with a typed error and keep its ability to report it over
+/// its own channels. Both behaviors share this parse.
+pub fn try_parse_threads(value: &str) -> Result<usize, ThreadsParseError> {
+    match value.trim().parse::<usize>() {
+        Ok(n) => Ok(clamp_threads(n)),
+        Err(_) => Err(ThreadsParseError { value: value.to_owned() }),
+    }
+}
+
 /// Parses an `IFS_THREADS` value, clamping it like [`clamp_threads`].
 ///
 /// A value that does not parse **panics**, and the message names the
 /// offending value and the accepted range: silently falling back to serial
 /// would skip exactly the configuration the knob exists to test, and a bare
 /// parse error would leave the operator hunting for which variable was
-/// malformed.
+/// malformed. Servers use [`try_parse_threads`] instead.
 pub fn parse_threads(value: &str) -> usize {
-    match value.trim().parse::<usize>() {
-        Ok(n) => clamp_threads(n),
-        Err(_) => panic!(
-            "IFS_THREADS must be an integer in 0..={MAX_THREADS} (0 means serial), \
-             got {value:?} — unset it to default to 1 thread"
-        ),
+    match try_parse_threads(value) {
+        Ok(n) => n,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// The `IFS_THREADS` environment override as a `Result`: `Ok(1)` when
+/// unset, `Ok(clamped)` when well-formed, and a typed
+/// [`ThreadsParseError`] when set but malformed — the startup check for
+/// processes that must not die on a bad env var (see [`try_parse_threads`]).
+pub fn try_env_threads() -> Result<usize, ThreadsParseError> {
+    match std::env::var("IFS_THREADS") {
+        Ok(v) => try_parse_threads(&v),
+        Err(_) => Ok(1),
     }
 }
 
@@ -141,6 +188,27 @@ mod tests {
     #[should_panic(expected = "got \"-3\"")]
     fn parse_rejects_negative_values() {
         parse_threads("-3");
+    }
+
+    #[test]
+    fn try_parse_is_the_non_panicking_form() {
+        assert_eq!(try_parse_threads("0"), Ok(1));
+        assert_eq!(try_parse_threads(" 4 "), Ok(4));
+        assert_eq!(try_parse_threads("999999"), Ok(MAX_THREADS));
+        let err = try_parse_threads("soup").expect_err("malformed value must refuse");
+        assert_eq!(err.value, "soup");
+        // The refusal text matches the panic text, value and range included.
+        let msg = err.to_string();
+        assert!(msg.contains("0..=256"), "{msg}");
+        assert!(msg.contains("\"soup\""), "{msg}");
+    }
+
+    #[test]
+    fn env_try_parse_defaults_to_serial_when_unset() {
+        // The harness does not set IFS_THREADS for unit tests; a developer
+        // override must still land in the clamped range.
+        let t = try_env_threads().expect("unset or well-formed in the test env");
+        assert!((1..=MAX_THREADS).contains(&t));
     }
 
     #[test]

@@ -1,21 +1,32 @@
 //! Offline build, online serve: sketches cross a process boundary as
-//! versioned snapshots (DESIGN.md §10).
+//! versioned snapshots, and queries cross back over the serving protocol
+//! (DESIGN.md §10–§11).
 //!
 //! The ROADMAP's target deployment splits in two: an offline tier with the
 //! full database builds sketches (sharded across cores, §8/§9), and a
 //! serving tier that never sees a row of raw data answers user queries
-//! from sketch bytes alone. This example runs that split end to end inside
-//! one process: build → `snapshot_bytes()` → move *only the bytes* into a
-//! serving thread → `from_snapshot()` → answer a query log — and asserts
+//! from sketch bytes alone. This example runs that split end to end over a
+//! real socket: build → `snapshot_bytes()` → `ifs_serve::SketchServer` on
+//! a loopback listener → `Load`/`Query` frames from a client — and asserts
 //! the served answers are bit-identical to querying the never-serialized
 //! originals. Along the way it prints each sketch's `size_bits()`, which
 //! since the snapshot layer is exactly the byte length the serving tier
 //! just received: the paper's `|S|`, measured.
 //!
+//! It also exercises the tier's refusal edges: a Count-Min frame is
+//! *admissible bytes but not a servable sketch* (counter partials ship to
+//! ingestion mergers, not query servers), a version-skewed frame refuses
+//! before its body is touched, and both come back as typed errors over the
+//! wire, never panics.
+//!
 //! Run with: `cargo run --release --example snapshot_serving`
 
 use itemset_sketches::prelude::*;
+use itemset_sketches::serve::{
+    net, QueryMode, Request, Response, ServeConfig, ServeError, SketchServer,
+};
 use itemset_sketches::streaming::{CountMinSketch, StreamCounter};
+use std::net::TcpListener;
 use std::time::Instant;
 
 const TOTAL_ROWS: usize = 40_000;
@@ -23,6 +34,9 @@ const DIMS: usize = 64;
 const SAMPLE_ROWS: usize = 3_000;
 const QUERY_LOG: usize = 2_000;
 const SEED: u64 = 0x0FF1CE;
+
+const SAMPLE_ID: u64 = 0;
+const ANSWERS_ID: u64 = 1;
 
 fn main() {
     // ---- Offline tier: full data, sharded builds (§8/§9). -------------
@@ -46,8 +60,8 @@ fn main() {
     let t = Instant::now();
     let sample = Subsample::with_sample_count_sharded(&db, SAMPLE_ROWS, 0.05, SEED, 4);
     let answers = ReleaseAnswersIndicator::build(&db, 2, 0.1);
-    // Item-level heavy hitters ride the same wire: a Count-Min over every
-    // item arrival in the row stream.
+    // Item-level heavy hitters ride the same wire format: a Count-Min over
+    // every item arrival in the row stream.
     let mut cm = CountMinSketch::<u32>::new(1024, 4, false, SEED);
     for r in 0..db.rows() {
         for &item in db.row_itemset(r).items() {
@@ -87,31 +101,68 @@ fn main() {
             _ => (0..1 + q % 3).map(|_| rng.below(DIMS) as u32).collect(),
         })
         .collect();
-    let reference_est = sample.estimate_batch(&queries);
+    let reference_est = sample.with_threads(2).estimate_batch(&queries);
     let pair_queries: Vec<Itemset> = queries.iter().filter(|t| t.len() == 2).cloned().collect();
     let reference_ind: Vec<bool> = pair_queries.iter().map(|t| answers.is_frequent(t)).collect();
     let hot_item = hot.items()[0];
     let reference_cm = cm.estimate(&hot_item);
 
-    // ---- Serving tier: a thread that only ever sees bytes. -------------
+    // ---- Serving tier: a server process that only ever sees bytes. ------
     let t = Instant::now();
-    let (served_est, served_ind, served_cm) = std::thread::scope(|scope| {
-        scope
-            .spawn(|| {
-                let sample = Subsample::from_snapshot(&sample_bytes).expect("decode subsample");
-                let answers =
-                    ReleaseAnswersIndicator::from_snapshot(&answers_bytes).expect("decode answers");
-                let cm = CountMinSketch::<u32>::from_snapshot(&cm_bytes).expect("decode count-min");
-                let est = sample.with_threads(2).estimate_batch(&queries);
-                let ind: Vec<bool> = pair_queries.iter().map(|t| answers.is_frequent(t)).collect();
-                (est, ind, cm.estimate(&hot_item))
-            })
-            .join()
-            .expect("serving thread")
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr").to_string();
+    let server = SketchServer::new(ServeConfig::default());
+    let (served_est, served_ind) = std::thread::scope(|scope| {
+        scope.spawn(|| net::serve_listener(&server, &listener, Some(1)).expect("serve"));
+        let mut client = net::Client::connect(&addr, 5_000).expect("connect");
+        let mut call =
+            |req: Request| client.call(&req).expect("transport").expect("response decodes");
+
+        // Load the two *frequency* sketches; the serving tier admits them
+        // by kind through the snapshot registry.
+        for (id, frame) in [(SAMPLE_ID, &sample_bytes), (ANSWERS_ID, &answers_bytes)] {
+            match call(Request::Load { id, threads: 2, frame: frame.clone() }) {
+                Response::Loaded { size_bits, .. } => {
+                    assert_eq!(size_bits, frame.len() as u64 * 8)
+                }
+                other => panic!("load {id}: unexpected response {other:?}"),
+            }
+        }
+        // The Count-Min frame is valid bytes of an *unservable* kind:
+        // counter partials ship to ingestion mergers, not query servers.
+        match call(Request::Load { id: 9, threads: 1, frame: cm_bytes.clone() }) {
+            Response::Error(ServeError::UnservableKind { kind }) => {
+                println!("serving tier refused the Count-Min frame (kind {kind}) as unservable")
+            }
+            other => panic!("expected an unservable-kind refusal, got {other:?}"),
+        }
+
+        let est = match call(Request::Query {
+            id: SAMPLE_ID,
+            mode: QueryMode::Estimate,
+            queries: queries.clone(),
+        }) {
+            Response::Estimates(v) => v,
+            other => panic!("expected estimates, got {other:?}"),
+        };
+        let ind = match call(Request::Query {
+            id: ANSWERS_ID,
+            mode: QueryMode::Indicator,
+            queries: pair_queries.clone(),
+        }) {
+            Response::Indicators(v) => v,
+            other => panic!("expected indicators, got {other:?}"),
+        };
+        (est, ind)
     });
+    // Count-Min answers stay on the direct snapshot path (its tier is the
+    // ingestion merger, which decodes frames in-process).
+    let served_cm = CountMinSketch::<u32>::from_snapshot(&cm_bytes)
+        .expect("decode count-min")
+        .estimate(&hot_item);
     println!(
-        "serving tier: decoded 3 snapshots and answered {} queries in {:?}",
-        queries.len() + pair_queries.len() + 1,
+        "serving tier: loaded 2 snapshots and answered {} queries over TCP in {:?}",
+        queries.len() + pair_queries.len(),
         t.elapsed()
     );
 
@@ -131,4 +182,11 @@ fn main() {
     skewed[6] = 0xFF;
     let refusal = Subsample::from_snapshot(&skewed).expect_err("future version must refuse");
     println!("version skew refused as expected: {refusal}");
+    let offline = SketchServer::new(ServeConfig::default());
+    let wire_refusal =
+        Response::from_bytes(&offline.handle(&skewed)).expect("refusals are valid responses");
+    match wire_refusal {
+        Response::Error(e) => println!("and over the wire it is still typed: {e}"),
+        other => panic!("expected a typed wire refusal, got {other:?}"),
+    }
 }

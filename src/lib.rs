@@ -57,6 +57,7 @@ pub use ifs_database as database;
 pub use ifs_linalg as linalg;
 pub use ifs_lowerbounds as lowerbounds;
 pub use ifs_mining as mining;
+pub use ifs_serve as serve;
 pub use ifs_solver as solver;
 pub use ifs_streaming as streaming;
 pub use ifs_util as util;
