@@ -27,7 +27,9 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use ifs_core::{ReleaseAnswersIndicator, ReleaseDb, Snapshot, Subsample};
 use ifs_database::{generators, Itemset};
-use ifs_serve::{Answers, QueryMode, Request, Response, ServeConfig, ServedSketch, SketchServer};
+use ifs_serve::{
+    Answers, EncodeBuf, QueryMode, Request, Response, ServeConfig, ServedSketch, SketchServer,
+};
 use ifs_util::Rng64;
 use std::hint::black_box;
 use std::time::Instant;
@@ -156,13 +158,16 @@ fn run_load(frames: &[Vec<u8>]) -> (f64, f64, f64) {
             Request::Query { id: id as u64, mode, queries }.to_bytes()
         })
         .collect();
+    // One connection's reusable buffers: the timed path is `handle_into`,
+    // exactly what `serve_connection` runs per request once warm.
+    let mut buf = EncodeBuf::new();
     let mut latencies_ms = Vec::with_capacity(BATCHES);
     let started = Instant::now();
     for req in &requests {
         let sent = Instant::now();
-        let resp = server.handle(black_box(req));
+        let resp_len = server.handle_into(black_box(req), &mut buf).len();
         latencies_ms.push(sent.elapsed().as_secs_f64() * 1e3);
-        black_box(resp.len());
+        black_box(resp_len);
     }
     let elapsed = started.elapsed().as_secs_f64();
     let qps = (BATCHES * BATCH_SIZE) as f64 / elapsed.max(1e-9);

@@ -154,6 +154,18 @@ impl Writer {
         self.buf
     }
 
+    /// Clears the writer for reuse, retaining its capacity. Per-connection
+    /// encode scratch in the serving tier relies on this to stop
+    /// allocating once it has seen its largest message.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+
+    /// The bytes written so far, borrowed.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf
+    }
+
     /// One raw byte.
     pub fn u8(&mut self, v: u8) {
         self.buf.push(v);
@@ -320,7 +332,18 @@ impl<'a> Reader<'a> {
 
 /// Wraps a kind-specific `body` into a full self-describing frame.
 pub fn encode_frame(kind: u16, version: u16, body: &[u8]) -> Vec<u8> {
-    let mut w = Writer::new();
+    let mut out = Vec::new();
+    encode_frame_into(kind, version, body, &mut out);
+    out
+}
+
+/// [`encode_frame`] into a caller-owned buffer: `out` is cleared and
+/// overwritten with the complete frame, retaining its capacity, so a
+/// connection that frames every message through one buffer stops
+/// allocating once warm.
+pub fn encode_frame_into(kind: u16, version: u16, body: &[u8], out: &mut Vec<u8>) {
+    let mut w = Writer { buf: std::mem::take(out) };
+    w.clear();
     w.u32(SNAPSHOT_MAGIC);
     w.buf.extend_from_slice(&kind.to_le_bytes());
     w.buf.extend_from_slice(&version.to_le_bytes());
@@ -328,7 +351,7 @@ pub fn encode_frame(kind: u16, version: u16, body: &[u8]) -> Vec<u8> {
     w.bytes(body);
     let check = fnv1a64(&w.buf);
     w.u64(check);
-    w.into_bytes()
+    *out = w.into_bytes();
 }
 
 /// Validates one frame at the start of `bytes` and returns `(body,

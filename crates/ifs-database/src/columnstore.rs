@@ -17,6 +17,22 @@
 use crate::{BitMatrix, Itemset};
 use ifs_util::bits;
 
+/// Tid-word block for the batched query path: the same geometry as a row
+/// shard ([`crate::sharded::SHARD_ROWS`] rows = 256 words per column), so
+/// one block of the `k` queried columns plus scratch stays L2-resident
+/// while every query of the batch runs over it (DESIGN.md §12). Blocked
+/// partial supports are exact integer popcounts over disjoint word
+/// ranges, so any block size yields bit-identical answers.
+pub(crate) const QUERY_BLOCK_WORDS: usize = crate::sharded::SHARD_ROWS / 64;
+
+std::thread_local! {
+    /// Scratch for single `support` queries with `k ≥ 4`: grown once per
+    /// thread, reused by every subsequent query (the former code allocated
+    /// a fresh `Vec` per call). Batch APIs still pass their own scratch.
+    static SUPPORT_SCRATCH: std::cell::RefCell<Vec<u64>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
 /// Per-item packed tid-set bitmaps over the rows of a [`BitMatrix`].
 ///
 /// Column `c` is stored as a little-endian bit-vector over row indices:
@@ -49,9 +65,26 @@ impl ColumnStore {
         let dims = matrix.cols();
         let words_per_col = bits::words_for(rows).max(1);
         let mut words = vec![0u64; dims * words_per_col];
-        for (local, r) in range.enumerate() {
-            for c in bits::ones(matrix.row_words(r)) {
-                words[c * words_per_col + local / 64] |= 1u64 << (local % 64);
+        // Blocked bit-scatter: 64 rows at a time accumulate into one
+        // L1-resident word per column (`colword`, `d` words), then each
+        // nonzero word is stored once. The naive transpose did one random
+        // store into the `d × n/64`-word output per set *bit*; this does one
+        // per set output *word*, and the per-bit stores all land in a `d`-
+        // word buffer that stays hot across the block.
+        let mut colword = vec![0u64; dims];
+        for block in 0..words_per_col {
+            let lo = range.start + block * 64;
+            let hi = (lo + 64).min(range.end);
+            for (bit, r) in (lo..hi).enumerate() {
+                for c in bits::ones(matrix.row_words(r)) {
+                    colword[c] |= 1u64 << bit;
+                }
+            }
+            for (c, w) in colword.iter_mut().enumerate() {
+                if *w != 0 {
+                    words[c * words_per_col + block] = *w;
+                    *w = 0;
+                }
             }
         }
         Self { rows, dims, words_per_col, words }
@@ -125,33 +158,84 @@ impl ColumnStore {
         Vec::new()
     }
 
-    /// Intersection kernel: support of `itemset` using caller-owned scratch.
+    /// The word range `[w0, w1)` of item `c`'s tid-set — the unit the
+    /// blocked batch kernel iterates over.
+    #[inline]
+    fn tids_words(&self, c: usize, w0: usize, w1: usize) -> &[u64] {
+        assert!(c < self.dims, "item {c} out of range for {} columns", self.dims);
+        &self.words[c * self.words_per_col + w0..c * self.words_per_col + w1]
+    }
+
+    /// Intersection kernel over the tid-word range `[w0, w1)`: rows of that
+    /// range containing every item of `itemset` (DESIGN.md §12).
     ///
-    /// `k = 0` needs no intersection (every row contains the empty set);
-    /// `k ≤ 2` runs allocation- and copy-free via [`bits::and_count`]; larger
-    /// itemsets AND into `scratch` (grown on first use, reused afterwards)
-    /// and fuse the final AND with the popcount.
-    pub fn support_with_scratch(&self, itemset: &Itemset, scratch: &mut Vec<u64>) -> usize {
-        let items = itemset.items();
-        match items {
-            [] => self.rows,
-            [a] => self.item_support(*a as usize),
-            [a, b] => bits::and_count(self.tids(*a as usize), self.tids(*b as usize)),
-            [a, mid @ .., z] => {
-                scratch.resize(self.words_per_col, 0);
-                scratch.copy_from_slice(self.tids(*a as usize));
+    /// `k = 0` needs no intersection (every row of the range qualifies);
+    /// `k ≤ 3` runs allocation- and copy-free via [`bits::and_count`] /
+    /// [`bits::and3_count`]; `k ≥ 4` opens with the fused
+    /// [`bits::and_write`], ANDs the middle items into `scratch`, and closes
+    /// with the fused [`bits::and3_count`] — `k − 2` passes over the range
+    /// instead of the historical `k` (copy, `k − 2` ANDs, AND+count).
+    ///
+    /// Because supports over disjoint word ranges are exact integer partial
+    /// popcounts, summing this kernel over any partition of `[0,
+    /// words_per_col)` is bit-identical to one full-width pass — the same
+    /// argument that makes row sharding exact (DESIGN.md §8).
+    fn support_in_words(
+        &self,
+        itemset: &Itemset,
+        w0: usize,
+        w1: usize,
+        scratch: &mut Vec<u64>,
+    ) -> usize {
+        match itemset.items() {
+            [] => self.rows.min(w1 * 64) - self.rows.min(w0 * 64),
+            [a] => bits::count_ones(self.tids_words(*a as usize, w0, w1)),
+            [a, b] => bits::and_count(
+                self.tids_words(*a as usize, w0, w1),
+                self.tids_words(*b as usize, w0, w1),
+            ),
+            [a, b, c] => bits::and3_count(
+                self.tids_words(*a as usize, w0, w1),
+                self.tids_words(*b as usize, w0, w1),
+                self.tids_words(*c as usize, w0, w1),
+            ),
+            [a, b, mid @ .., y, z] => {
+                scratch.resize(w1 - w0, 0);
+                bits::and_write(
+                    scratch,
+                    self.tids_words(*a as usize, w0, w1),
+                    self.tids_words(*b as usize, w0, w1),
+                );
                 for &c in mid {
-                    bits::and_assign(scratch, self.tids(c as usize));
+                    bits::and_assign(scratch, self.tids_words(c as usize, w0, w1));
                 }
-                bits::and_count(scratch, self.tids(*z as usize))
+                bits::and3_count(
+                    scratch,
+                    self.tids_words(*y as usize, w0, w1),
+                    self.tids_words(*z as usize, w0, w1),
+                )
             }
         }
     }
 
-    /// Support of `itemset`: rows containing every item. Allocation-free for
-    /// `|itemset| ≤ 2` (the dominant cardinalities in query workloads).
+    /// Intersection kernel: support of `itemset` using caller-owned scratch
+    /// (the full-width case of `support_in_words`; `k ≤ 3` never
+    /// touches `scratch`).
+    pub fn support_with_scratch(&self, itemset: &Itemset, scratch: &mut Vec<u64>) -> usize {
+        self.support_in_words(itemset, 0, self.words_per_col, scratch)
+    }
+
+    /// Support of `itemset`: rows containing every item. Allocation-free:
+    /// `|itemset| ≤ 3` needs no scratch at all, and larger itemsets borrow a
+    /// thread-local buffer that is grown once and reused by every subsequent
+    /// single query on the thread.
     pub fn support(&self, itemset: &Itemset) -> usize {
-        self.support_with_scratch(itemset, &mut Vec::new())
+        if itemset.items().len() <= 3 {
+            // Kernel provably ignores scratch; skip the thread-local borrow.
+            return self.support_in_words(itemset, 0, self.words_per_col, &mut Vec::new());
+        }
+        SUPPORT_SCRATCH
+            .with(|scratch| self.support_with_scratch(itemset, &mut scratch.borrow_mut()))
     }
 
     /// Frequency `f_T` ∈ [0, 1]; 0 for an empty store (matching
@@ -163,13 +247,47 @@ impl ColumnStore {
         self.support(itemset) as f64 / self.rows as f64
     }
 
-    /// Supports of a whole query log, sharing one scratch buffer.
-    pub fn support_batch(&self, itemsets: &[Itemset]) -> Vec<usize> {
-        let mut scratch = self.new_scratch();
-        itemsets.iter().map(|t| self.support_with_scratch(t, &mut scratch)).collect()
+    /// Accumulates `out[i] += support(itemsets[i])` in cache blocks: the
+    /// outer loop walks tid-word blocks of `block_words`, the inner loop
+    /// runs every query over the current block, so the queried column words
+    /// are loaded into L2 once per *batch* instead of once per *query*.
+    /// Commutative integer accumulation — identical to query-at-a-time.
+    pub(crate) fn add_supports_blocked(
+        &self,
+        itemsets: &[Itemset],
+        out: &mut [usize],
+        block_words: usize,
+        scratch: &mut Vec<u64>,
+    ) {
+        debug_assert_eq!(itemsets.len(), out.len());
+        assert!(block_words > 0, "block_words must be positive");
+        let mut w0 = 0;
+        while w0 < self.words_per_col {
+            let w1 = (w0 + block_words).min(self.words_per_col);
+            for (o, t) in out.iter_mut().zip(itemsets) {
+                *o += self.support_in_words(t, w0, w1, scratch);
+            }
+            w0 = w1;
+        }
     }
 
-    /// Frequencies of a whole query log, sharing one scratch buffer.
+    /// Supports of a whole query log over explicit tid-word blocks — the
+    /// knob exists so tests can straddle block boundaries; production paths
+    /// use [`Self::support_batch`] (block = `QUERY_BLOCK_WORDS`). Element
+    /// `i` equals `self.support(&itemsets[i])` at **any** block size.
+    pub fn support_batch_blocked(&self, itemsets: &[Itemset], block_words: usize) -> Vec<usize> {
+        let mut out = vec![0usize; itemsets.len()];
+        self.add_supports_blocked(itemsets, &mut out, block_words, &mut Vec::new());
+        out
+    }
+
+    /// Supports of a whole query log, cache-blocked (DESIGN.md §12) and
+    /// sharing one scratch buffer.
+    pub fn support_batch(&self, itemsets: &[Itemset]) -> Vec<usize> {
+        self.support_batch_blocked(itemsets, QUERY_BLOCK_WORDS)
+    }
+
+    /// Frequencies of a whole query log, cache-blocked.
     ///
     /// Bit-identical to calling [`Self::frequency`] per itemset: both divide
     /// the same integer support by the same integer row count.
@@ -178,34 +296,34 @@ impl ColumnStore {
             return vec![0.0; itemsets.len()];
         }
         let n = self.rows as f64;
-        let mut scratch = self.new_scratch();
-        itemsets.iter().map(|t| self.support_with_scratch(t, &mut scratch) as f64 / n).collect()
+        self.support_batch(itemsets).into_iter().map(|s| s as f64 / n).collect()
     }
 
     /// [`Self::support_batch`] chunked across up to `threads` workers
     /// (DESIGN.md §8). Row sharding is pointless for a store that fits one
-    /// shard, but query-log chunking still parallelizes; element `i` equals
+    /// shard, but query-log chunking still parallelizes; each worker runs
+    /// the blocked kernel over its chunk. Element `i` equals
     /// `self.support(&itemsets[i])` regardless of `threads`.
     pub fn support_batch_with_threads(&self, itemsets: &[Itemset], threads: usize) -> Vec<usize> {
         let mut out = vec![0usize; itemsets.len()];
-        crate::sharded::chunked_query_batch(self, itemsets, threads, &mut out, |s, t, scratch| {
-            s.support_with_scratch(t, scratch)
+        crate::sharded::chunked_query_batch(self, itemsets, threads, &mut out, |s, qs, os| {
+            s.add_supports_blocked(qs, os, QUERY_BLOCK_WORDS, &mut Vec::new());
         });
         out
     }
 
     /// [`Self::frequency_batch`] chunked across up to `threads` workers;
-    /// bit-identical at every thread count.
+    /// bit-identical at every thread count (same integer supports, same
+    /// divisions).
     pub fn frequency_batch_with_threads(&self, itemsets: &[Itemset], threads: usize) -> Vec<f64> {
         if self.rows == 0 {
             return vec![0.0; itemsets.len()];
         }
         let n = self.rows as f64;
-        let mut out = vec![0.0f64; itemsets.len()];
-        crate::sharded::chunked_query_batch(self, itemsets, threads, &mut out, |s, t, scratch| {
-            s.support_with_scratch(t, scratch) as f64 / n
-        });
-        out
+        self.support_batch_with_threads(itemsets, threads)
+            .into_iter()
+            .map(|s| s as f64 / n)
+            .collect()
     }
 }
 

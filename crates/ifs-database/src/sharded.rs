@@ -143,62 +143,73 @@ impl ShardedColumnStore {
         self.support(itemset) as f64 / self.rows as f64
     }
 
+    /// Accumulates `out[i] += support(itemsets[i])` shard by shard: the
+    /// outer loop walks shards (each ≲ 256 KiB of tid words — L2-resident
+    /// by construction, see [`SHARD_ROWS`]), the inner loop runs every
+    /// query of the chunk over the current shard. One shard's columns are
+    /// loaded once per *batch* instead of once per *query* — the sharded
+    /// twin of [`ColumnStore::add_supports_blocked`]. Integer accumulation
+    /// commutes, so the totals equal query-at-a-time shard sums exactly.
+    fn add_supports(&self, itemsets: &[Itemset], out: &mut [usize], scratch: &mut Vec<u64>) {
+        for shard in &self.shards {
+            shard.add_supports_blocked(
+                itemsets,
+                out,
+                crate::columnstore::QUERY_BLOCK_WORDS,
+                scratch,
+            );
+        }
+    }
+
     /// Supports of a whole query log, computed by up to `threads` workers
-    /// over contiguous chunks of the log. Element `i` equals
+    /// over contiguous chunks of the log; each worker iterates shard-outer,
+    /// query-inner (cache-blocked, DESIGN.md §12). Element `i` equals
     /// `self.support(&itemsets[i])` regardless of `threads`.
     pub fn support_batch(&self, itemsets: &[Itemset], threads: usize) -> Vec<usize> {
         let mut out = vec![0usize; itemsets.len()];
-        chunked_query_batch(self, itemsets, threads, &mut out, |store, t, scratch| {
-            store.support_with_scratch(t, scratch)
+        chunked_query_batch(self, itemsets, threads, &mut out, |store, qs, os| {
+            store.add_supports(qs, os, &mut Vec::new());
         });
         out
     }
 
     /// Frequencies of a whole query log; element `i` equals
-    /// `self.frequency(&itemsets[i])` regardless of `threads`.
+    /// `self.frequency(&itemsets[i])` regardless of `threads` (same integer
+    /// support, same division).
     pub fn frequency_batch(&self, itemsets: &[Itemset], threads: usize) -> Vec<f64> {
         if self.rows == 0 {
             return vec![0.0; itemsets.len()];
         }
         let n = self.rows as f64;
-        let mut out = vec![0.0f64; itemsets.len()];
-        chunked_query_batch(self, itemsets, threads, &mut out, |store, t, scratch| {
-            store.support_with_scratch(t, scratch) as f64 / n
-        });
-        out
+        self.support_batch(itemsets, threads).into_iter().map(|s| s as f64 / n).collect()
     }
 }
 
 /// Chunked-batch driver shared by [`ShardedColumnStore`] and the threaded
 /// [`ColumnStore`] batch methods: splits `itemsets` and `out` into the same
-/// contiguous chunks and runs `kernel` per query, one worker per chunk,
-/// each with a private scratch buffer writing a disjoint output slice —
-/// per-query answers never depend on which worker computed them.
+/// contiguous chunks and hands each (queries, outputs) chunk pair to
+/// `kernel` on its own worker. Chunk-level granularity lets the kernel
+/// iterate cache-blocked *within* its chunk (shard-outer or block-outer)
+/// instead of being forced through a per-query callback; outputs live in
+/// disjoint slices, so per-query answers never depend on which worker
+/// computed them.
 pub(crate) fn chunked_query_batch<S: Sync + ?Sized, R: Send>(
     store: &S,
     itemsets: &[Itemset],
     threads: usize,
     out: &mut [R],
-    kernel: impl Fn(&S, &Itemset, &mut Vec<u64>) -> R + Sync,
+    kernel: impl Fn(&S, &[Itemset], &mut [R]) + Sync,
 ) {
     let threads = clamp_threads(threads).min(itemsets.len().max(1));
     if threads == 1 {
-        let mut scratch = Vec::new();
-        for (o, t) in out.iter_mut().zip(itemsets) {
-            *o = kernel(store, t, &mut scratch);
-        }
+        kernel(store, itemsets, out);
         return;
     }
     let chunk = itemsets.len().div_ceil(threads);
     std::thread::scope(|s| {
         for (qs, os) in itemsets.chunks(chunk).zip(out.chunks_mut(chunk)) {
             let kernel = &kernel;
-            s.spawn(move || {
-                let mut scratch = Vec::new();
-                for (o, t) in os.iter_mut().zip(qs) {
-                    *o = kernel(store, t, &mut scratch);
-                }
-            });
+            s.spawn(move || kernel(store, qs, os));
         }
     });
 }

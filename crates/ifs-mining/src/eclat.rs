@@ -97,8 +97,9 @@ fn extend(
     }
     for (idx, &(item, tids, _)) in items.iter().enumerate().skip(start) {
         let mut inter = prefix_tids.to_vec();
-        bits::and_assign(&mut inter, tids);
-        let support = bits::count_ones(&inter);
+        // Fused AND+popcount: one pass over the tid words instead of an
+        // `and_assign` pass followed by a `count_ones` pass.
+        let support = bits::and_count_into(&mut inter, tids);
         if support >= min_support {
             let extended = prefix.union(&Itemset::singleton(item));
             results.push(MinedItemset {

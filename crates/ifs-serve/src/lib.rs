@@ -51,7 +51,8 @@ pub use error::ServeError;
 pub use hot::HotSet;
 pub use net::{Client, MAX_WIRE_FRAME};
 pub use protocol::{
-    QueryMode, Request, Response, ServerStats, PROTOCOL_VERSION, REQUEST_KIND, RESPONSE_KIND,
+    EncodeBuf, QueryMode, Request, Response, ServerStats, PROTOCOL_VERSION, REQUEST_KIND,
+    RESPONSE_KIND,
 };
 pub use server::{BatchSlot, ServeConfig, SketchServer};
 pub use sketch::{Answers, ServedSketch};

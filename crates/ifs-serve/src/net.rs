@@ -14,7 +14,7 @@
 //! in-frame corruption (bad checksum, unknown tag) is recoverable and the
 //! connection stays open.
 
-use crate::protocol::{Request, Response};
+use crate::protocol::{EncodeBuf, Request, Response};
 use crate::server::SketchServer;
 use ifs_database::codec::{DecodeError, SNAPSHOT_MAGIC};
 use std::io::{self, Read, Write};
@@ -35,6 +35,21 @@ pub const MAX_WIRE_FRAME: usize = 1 << 30;
 ///   once and close, since the next frame boundary is unknowable.
 /// - `Err(_)` — transport failure (including mid-frame EOF).
 pub fn read_frame<R: Read>(stream: &mut R) -> io::Result<Option<Result<Vec<u8>, DecodeError>>> {
+    let mut frame = Vec::new();
+    Ok(read_frame_into(stream, &mut frame)?.map(|r| r.map(|()| frame)))
+}
+
+/// [`read_frame`] into a caller-owned buffer: `frame` is cleared and
+/// overwritten with the complete frame bytes, retaining its capacity, so a
+/// connection that reads every frame through one buffer stops allocating
+/// once it has seen its largest frame. The `Option`/`Result` layering is
+/// exactly [`read_frame`]'s; on `Some(Ok(()))` the frame spans all of
+/// `frame`.
+pub fn read_frame_into<R: Read>(
+    stream: &mut R,
+    frame: &mut Vec<u8>,
+) -> io::Result<Option<Result<(), DecodeError>>> {
+    frame.clear();
     // Header: magic u32 + kind u16 + version u16. EOF before the first
     // byte is a clean close; EOF after it is a truncated frame.
     let mut header = [0u8; 8];
@@ -48,7 +63,7 @@ pub fn read_frame<R: Read>(stream: &mut R) -> io::Result<Option<Result<Vec<u8>, 
     if magic != SNAPSHOT_MAGIC {
         return Ok(Some(Err(DecodeError::BadMagic(magic))));
     }
-    let mut frame = header.to_vec();
+    frame.extend_from_slice(&header);
     // Varint body length, byte-wise off the stream.
     let mut body_len = 0u64;
     let mut shift = 0u32;
@@ -80,7 +95,7 @@ pub fn read_frame<R: Read>(stream: &mut R) -> io::Result<Option<Result<Vec<u8>, 
     let start = frame.len();
     frame.resize(start + body_len as usize + 8, 0);
     stream.read_exact(&mut frame[start..])?;
-    Ok(Some(Ok(frame)))
+    Ok(Some(Ok(())))
 }
 
 /// Writes one already-framed message and flushes it.
@@ -94,12 +109,20 @@ pub fn write_frame<W: Write>(stream: &mut W, frame: &[u8]) -> io::Result<()> {
 /// an unframeable byte stream forces a close (after a final typed error
 /// response). No peer input panics this loop.
 pub fn serve_connection(server: &SketchServer, stream: &mut TcpStream) -> io::Result<()> {
+    // Per-connection reusable buffers: the inbound frame and the encode
+    // scratch. A warm request/response cycle allocates nothing at the
+    // transport and framing layers (DESIGN.md §12).
+    let mut frame = Vec::new();
+    let mut buf = EncodeBuf::new();
     loop {
-        match read_frame(stream)? {
+        match read_frame_into(stream, &mut frame)? {
             None => return Ok(()),
-            Some(Ok(frame)) => write_frame(stream, &server.handle(&frame))?,
+            Some(Ok(())) => {
+                let response = server.handle_into(&frame, &mut buf);
+                write_frame(stream, response)?;
+            }
             Some(Err(e)) => {
-                write_frame(stream, &Response::Error(e.into()).to_bytes())?;
+                write_frame(stream, Response::Error(e.into()).encode_into(&mut buf))?;
                 return Ok(());
             }
         }
@@ -136,14 +159,18 @@ pub fn serve_listener(
 }
 
 /// A blocking client for the serving protocol: one call, one response.
+/// Holds per-connection reusable encode/decode buffers, so a client
+/// issuing many calls stops allocating at the framing layer once warm.
 pub struct Client {
     stream: TcpStream,
+    frame: Vec<u8>,
+    buf: EncodeBuf,
 }
 
 impl Client {
     /// Wraps an established connection.
     pub fn new(stream: TcpStream) -> Self {
-        Self { stream }
+        Self { stream, frame: Vec::new(), buf: EncodeBuf::new() }
     }
 
     /// Connects to `addr`, retrying for roughly `retry_ms` milliseconds —
@@ -166,12 +193,12 @@ impl Client {
     /// transport failure (including the server closing mid-call); the
     /// inner `Err` means the response bytes refused to decode.
     pub fn call(&mut self, request: &Request) -> io::Result<Result<Response, DecodeError>> {
-        write_frame(&mut self.stream, &request.to_bytes())?;
-        match read_frame(&mut self.stream)? {
+        write_frame(&mut self.stream, request.encode_into(&mut self.buf))?;
+        match read_frame_into(&mut self.stream, &mut self.frame)? {
             None => {
                 Err(io::Error::new(io::ErrorKind::UnexpectedEof, "server closed before responding"))
             }
-            Some(Ok(frame)) => Ok(Response::from_bytes(&frame)),
+            Some(Ok(())) => Ok(Response::from_bytes(&self.frame)),
             Some(Err(e)) => Ok(Err(e)),
         }
     }

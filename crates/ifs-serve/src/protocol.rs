@@ -34,7 +34,7 @@
 //! ```
 
 use crate::error::ServeError;
-use ifs_database::codec::{self, decode_frame, encode_frame, DecodeError, Reader, Writer};
+use ifs_database::codec::{self, decode_frame, encode_frame_into, DecodeError, Reader, Writer};
 use ifs_database::Itemset;
 use ifs_util::bits;
 
@@ -169,8 +169,7 @@ pub enum Response {
     Error(ServeError),
 }
 
-fn encode_request_body(req: &Request) -> Vec<u8> {
-    let mut w = Writer::new();
+fn encode_request_body(req: &Request, w: &mut Writer) {
     match req {
         Request::Load { id, threads, frame } => {
             w.u8(REQ_LOAD);
@@ -185,12 +184,11 @@ fn encode_request_body(req: &Request) -> Vec<u8> {
             w.u8(mode.wire_tag());
             w.varint(queries.len() as u64);
             for q in queries {
-                codec::write_itemset(&mut w, q);
+                codec::write_itemset(w, q);
             }
         }
         Request::Stats => w.u8(REQ_STATS),
     }
-    w.into_bytes()
 }
 
 fn decode_request_body(r: &mut Reader) -> Result<Request, DecodeError> {
@@ -218,8 +216,7 @@ fn decode_request_body(r: &mut Reader) -> Result<Request, DecodeError> {
     }
 }
 
-fn encode_response_body(resp: &Response) -> Vec<u8> {
-    let mut w = Writer::new();
+fn encode_response_body(resp: &Response, w: &mut Writer) {
     match resp {
         Response::Loaded { id, kind, size_bits, evicted } => {
             w.u8(RESP_LOADED);
@@ -247,7 +244,7 @@ fn encode_response_body(resp: &Response) -> Vec<u8> {
                     bits::set(&mut words, i, true);
                 }
             }
-            codec::write_bitset(&mut w, &words, v.len());
+            codec::write_bitset(w, &words, v.len());
         }
         Response::Stats(s) => {
             w.u8(RESP_STATS);
@@ -266,10 +263,9 @@ fn encode_response_body(resp: &Response) -> Vec<u8> {
         }
         Response::Error(e) => {
             w.u8(RESP_ERROR);
-            e.encode(&mut w);
+            e.encode(w);
         }
     }
-    w.into_bytes()
 }
 
 fn decode_response_body(r: &mut Reader) -> Result<Response, DecodeError> {
@@ -339,11 +335,46 @@ fn decode_exact<T>(
     Ok(decoded)
 }
 
+/// Per-connection reusable encode scratch: one writer for message bodies
+/// and one buffer for the finished frame. Both retain capacity across
+/// messages, so once a connection has encoded its largest message, every
+/// later encode through the same buffer is allocation-free (DESIGN.md
+/// §12). One `EncodeBuf` per connection — the frames it returns are only
+/// valid until its next encode.
+#[derive(Debug, Default)]
+pub struct EncodeBuf {
+    body: Writer,
+    frame: Vec<u8>,
+}
+
+impl EncodeBuf {
+    /// An empty buffer pair; capacity grows to the largest message seen.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+fn frame_into(kind: u16, buf: &mut EncodeBuf, body: impl FnOnce(&mut Writer)) -> &[u8] {
+    buf.body.clear();
+    body(&mut buf.body);
+    encode_frame_into(kind, PROTOCOL_VERSION, buf.body.as_slice(), &mut buf.frame);
+    &buf.frame
+}
+
 impl Request {
     /// The complete framed request — length-prefixed and checksummed, ready
     /// for a socket.
     pub fn to_bytes(&self) -> Vec<u8> {
-        encode_frame(REQUEST_KIND, PROTOCOL_VERSION, &encode_request_body(self))
+        let mut buf = EncodeBuf::new();
+        self.encode_into(&mut buf);
+        buf.frame
+    }
+
+    /// [`to_bytes`](Self::to_bytes) through a reusable [`EncodeBuf`]:
+    /// identical bytes, no allocation once the buffer is warm. The
+    /// returned slice is valid until the buffer's next encode.
+    pub fn encode_into<'a>(&self, buf: &'a mut EncodeBuf) -> &'a [u8] {
+        frame_into(REQUEST_KIND, buf, |w| encode_request_body(self, w))
     }
 
     /// Decodes exactly one request spanning all of `bytes`; every
@@ -356,7 +387,16 @@ impl Request {
 impl Response {
     /// The complete framed response.
     pub fn to_bytes(&self) -> Vec<u8> {
-        encode_frame(RESPONSE_KIND, PROTOCOL_VERSION, &encode_response_body(self))
+        let mut buf = EncodeBuf::new();
+        self.encode_into(&mut buf);
+        buf.frame
+    }
+
+    /// [`to_bytes`](Self::to_bytes) through a reusable [`EncodeBuf`]:
+    /// identical bytes, no allocation once the buffer is warm. The
+    /// returned slice is valid until the buffer's next encode.
+    pub fn encode_into<'a>(&self, buf: &'a mut EncodeBuf) -> &'a [u8] {
+        frame_into(RESPONSE_KIND, buf, |w| encode_response_body(self, w))
     }
 
     /// Decodes exactly one response spanning all of `bytes`.
@@ -368,6 +408,7 @@ impl Response {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ifs_database::codec::encode_frame;
 
     fn roundtrip_request(req: &Request) {
         let bytes = req.to_bytes();
@@ -451,6 +492,35 @@ mod tests {
         // An unknown body tag inside a valid frame is Corrupt.
         let framed = encode_frame(REQUEST_KIND, PROTOCOL_VERSION, &[0xAB]);
         assert!(matches!(Request::from_bytes(&framed), Err(DecodeError::Corrupt(_))));
+    }
+
+    #[test]
+    fn reused_encode_buf_produces_identical_frames() {
+        // One buffer, many messages of different shapes and sizes: every
+        // encode must equal the allocating `to_bytes` byte for byte, even
+        // after the buffer has held a longer frame.
+        let mut buf = EncodeBuf::new();
+        let requests = [
+            Request::Stats,
+            Request::Load { id: 2, threads: 3, frame: vec![0xAB; 300] },
+            Request::Query {
+                id: 1,
+                mode: QueryMode::Indicator,
+                queries: vec![Itemset::new(vec![1, 4, 9]), Itemset::empty()],
+            },
+            Request::Stats, // shorter than what the buffer last held
+        ];
+        for req in &requests {
+            assert_eq!(req.encode_into(&mut buf), req.to_bytes(), "{req:?}");
+        }
+        let responses = [
+            Response::Estimates(vec![0.25; 100]),
+            Response::Error(ServeError::UnknownSketch { id: 9 }),
+            Response::Indicators(vec![true; 17]),
+        ];
+        for resp in &responses {
+            assert_eq!(resp.encode_into(&mut buf), resp.to_bytes(), "{resp:?}");
+        }
     }
 
     #[test]

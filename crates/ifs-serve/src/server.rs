@@ -19,7 +19,7 @@
 
 use crate::error::ServeError;
 use crate::hot::HotSet;
-use crate::protocol::{QueryMode, Request, Response, ServerStats};
+use crate::protocol::{EncodeBuf, QueryMode, Request, Response, ServerStats};
 use crate::sketch::{Answers, ServedSketch};
 use ifs_database::Itemset;
 use ifs_util::threads::clamp_threads;
@@ -216,16 +216,27 @@ impl SketchServer {
     /// refusals, and answers all come back as encoded [`Response`]s; no
     /// input can panic this path.
     pub fn handle(&self, request: &[u8]) -> Vec<u8> {
-        let request = match Request::from_bytes(request) {
-            Ok(r) => r,
-            Err(e) => return Response::Error(ServeError::Decode(e)).to_bytes(),
-        };
-        let response = match request {
-            Request::Load { id, threads, frame } => match self.load_frame(id, threads, &frame) {
-                Ok((kind, size_bits, evicted)) => Response::Loaded { id, kind, size_bits, evicted },
-                Err(e) => Response::Error(e),
-            },
-            Request::Query { id, mode, queries } => match self.try_begin_batch() {
+        let mut buf = EncodeBuf::new();
+        self.handle_into(request, &mut buf).to_vec()
+    }
+
+    /// [`handle`](Self::handle) through a per-connection reusable
+    /// [`EncodeBuf`]: identical response bytes, but the response frame is
+    /// built in the buffer instead of a fresh allocation, so a warm
+    /// connection's encode path stops touching the allocator. The returned
+    /// slice is valid until the buffer's next encode.
+    pub fn handle_into<'a>(&self, request: &[u8], buf: &'a mut EncodeBuf) -> &'a [u8] {
+        let response = match Request::from_bytes(request) {
+            Err(e) => Response::Error(ServeError::Decode(e)),
+            Ok(Request::Load { id, threads, frame }) => {
+                match self.load_frame(id, threads, &frame) {
+                    Ok((kind, size_bits, evicted)) => {
+                        Response::Loaded { id, kind, size_bits, evicted }
+                    }
+                    Err(e) => Response::Error(e),
+                }
+            }
+            Ok(Request::Query { id, mode, queries }) => match self.try_begin_batch() {
                 Err(e) => Response::Error(e),
                 Ok(slot) => match self.query(&slot, id, mode, &queries) {
                     Ok(Answers::Estimates(v)) => Response::Estimates(v),
@@ -233,9 +244,9 @@ impl SketchServer {
                     Err(e) => Response::Error(e),
                 },
             },
-            Request::Stats => Response::Stats(self.stats()),
+            Ok(Request::Stats) => Response::Stats(self.stats()),
         };
-        response.to_bytes()
+        response.encode_into(buf)
     }
 }
 
@@ -319,5 +330,30 @@ mod tests {
             let out = server.handle(input);
             Response::from_bytes(&out).expect("every response must decode");
         }
+    }
+
+    #[test]
+    fn handle_into_reusing_one_buffer_matches_handle() {
+        let (_, frame) = demo();
+        let server = SketchServer::new(ServeConfig::default());
+        let mut buf = EncodeBuf::new();
+        // One buffer across loads, queries of both modes, stats, and
+        // refusals — every response must equal the allocating path's bytes
+        // even after the buffer has held a longer frame.
+        let requests = [
+            Request::Load { id: 0, threads: 1, frame: frame.clone() },
+            Request::Query {
+                id: 0,
+                mode: QueryMode::Estimate,
+                queries: vec![Itemset::empty(), Itemset::new(vec![0, 1])],
+            },
+            Request::Stats,
+            Request::Query { id: 9, mode: QueryMode::Indicator, queries: vec![] },
+        ];
+        for req in &requests {
+            let bytes = req.to_bytes();
+            assert_eq!(server.handle_into(&bytes, &mut buf), server.handle(&bytes), "{req:?}");
+        }
+        assert_eq!(server.handle_into(b"garbage", &mut buf), server.handle(b"garbage"));
     }
 }
