@@ -14,8 +14,8 @@
 //! 3. **Refusals stay cheap and typed** — a garbage frame and an unknown
 //!    id produce error responses, not panics, mid-load.
 //!
-//! The gate emits `bench_results/BENCH_serving.json` (p50/p99 batch
-//! latency, queries/sec) so the serving tier's perf trajectory is
+//! The gate emits `bench_results/BENCH_serving.json` (p50/p99/p99.9
+//! batch latency, queries/sec) so the serving tier's perf trajectory is
 //! machine-readable across PRs. The standalone `ifs-loadgen` binary
 //! measures the same workload *across a real TCP connection* and, when CI
 //! runs it after this bench, overwrites the artifact with two-process
@@ -143,7 +143,7 @@ fn percentile_ms(sorted: &[f64], p: f64) -> f64 {
 
 /// The timed half: a warm server under round-robin batched load, measured
 /// through the byte-level `handle` path.
-fn run_load(frames: &[Vec<u8>]) -> (f64, f64, f64) {
+fn run_load(frames: &[Vec<u8>]) -> (f64, f64, f64, f64) {
     let server = SketchServer::new(ServeConfig::default());
     let oracle: Vec<ServedSketch> =
         frames.iter().map(|f| ServedSketch::admit(f, 2).expect("fleet frame")).collect();
@@ -172,13 +172,18 @@ fn run_load(frames: &[Vec<u8>]) -> (f64, f64, f64) {
     let elapsed = started.elapsed().as_secs_f64();
     let qps = (BATCHES * BATCH_SIZE) as f64 / elapsed.max(1e-9);
     latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
-    (percentile_ms(&latencies_ms, 50.0), percentile_ms(&latencies_ms, 99.0), qps)
+    (
+        percentile_ms(&latencies_ms, 50.0),
+        percentile_ms(&latencies_ms, 99.0),
+        percentile_ms(&latencies_ms, 99.9),
+        qps,
+    )
 }
 
 /// Hand-rolled JSON (DESIGN.md §6: no serde) under the workspace's
 /// `bench_results/`; the `mode` field records debug smoke vs release
 /// bench, and `source` records in-process bench vs the TCP loadgen.
-fn write_bench_json(p50_ms: f64, p99_ms: f64, qps: f64) {
+fn write_bench_json(p50_ms: f64, p99_ms: f64, p999_ms: f64, qps: f64) {
     let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../bench_results");
     if let Err(e) = std::fs::create_dir_all(&dir) {
         eprintln!("serving_load: cannot create {}: {e}", dir.display());
@@ -188,9 +193,10 @@ fn write_bench_json(p50_ms: f64, p99_ms: f64, qps: f64) {
     let queries_total = BATCHES * BATCH_SIZE;
     let json = format!(
         "{{\n  \"bench\": \"serving_load\",\n  \"mode\": \"{mode}\",\n  \
-         \"source\": \"bench\",\n  \"sketches\": 3,\n  \"batches\": {BATCHES},\n  \
+         \"source\": \"bench\",\n  \"sketches\": 3,\n  \"connections\": 1,\n  \
+         \"pipeline_depth\": 1,\n  \"batches\": {BATCHES},\n  \
          \"batch_size\": {BATCH_SIZE},\n  \"queries_total\": {queries_total},\n  \
-         \"p50_ms\": {p50_ms:.3},\n  \"p99_ms\": {p99_ms:.3},\n  \
+         \"p50_ms\": {p50_ms:.3},\n  \"p99_ms\": {p99_ms:.3},\n  \"p999_ms\": {p999_ms:.3},\n  \
          \"queries_per_sec\": {qps:.1},\n  \"identity_checked\": true\n}}\n"
     );
     let path = dir.join("BENCH_serving.json");
@@ -204,12 +210,13 @@ fn bench_serving_load(c: &mut Criterion) {
     let mut rng = Rng64::seeded(0x5E17E);
     let frames = fleet(&mut rng);
     assert_serving_invariants(&frames);
-    let (p50, p99, qps) = run_load(&frames);
+    let (p50, p99, p999, qps) = run_load(&frames);
     println!(
         "serving_load: {BATCHES} batches x {BATCH_SIZE} queries over 3 sketches \
-         ({ROWS} rows x {DIMS} dims): p50 {p50:.3} ms, p99 {p99:.3} ms, {qps:.0} queries/s"
+         ({ROWS} rows x {DIMS} dims): p50 {p50:.3} ms, p99 {p99:.3} ms, \
+         p99.9 {p999:.3} ms, {qps:.0} queries/s"
     );
-    write_bench_json(p50, p99, qps);
+    write_bench_json(p50, p99, p999, qps);
     // Keep criterion's group bookkeeping consistent even though the gate
     // does its own timing.
     let mut g = c.benchmark_group("serving_load_gate");

@@ -3,34 +3,55 @@
 //!
 //! ```text
 //! ifs-loadgen --write-snapshots FILE [--seed N]
-//! ifs-loadgen --connect ADDR [--assume-loaded] [--batches N]
-//!             [--batch-size N] [--threads N] [--seed N] [--json PATH]
+//! ifs-loadgen --connect ADDR [--assume-loaded] [--connections N]
+//!             [--pipeline M] [--batches N] [--batch-size N] [--threads N]
+//!             [--seed N] [--json PATH]
+//! ifs-loadgen --bench-matrix [--connections N] [--pipeline M]
+//!             [--batches N] [--batch-size N] [--seed N] [--json PATH]
 //! ```
 //!
 //! The first form writes the demo sketch fleet (one frame per servable
 //! kind, built from a seeded database) as concatenated snapshot frames —
 //! the file `ifs-serve --snapshots` preloads. The second form drives a
-//! running server with batched queries and **verifies every answer
-//! bit-identically** against the same sketches rebuilt locally: the
-//! loadgen is an end-to-end oracle, not just a traffic source. With
+//! running server over `--connections` concurrent connections, each
+//! keeping up to `--pipeline` requests in flight, and **verifies every
+//! answer bit-identically** against the same sketches rebuilt locally:
+//! the loadgen is an end-to-end oracle, not just a traffic source. With
 //! `--assume-loaded` the fleet is expected to be preloaded (ids `0..4` in
-//! fleet order); otherwise the loadgen sends `Load` requests itself.
+//! fleet order); otherwise the loadgen sends `Load` requests itself. An
+//! `Overloaded` refusal is retried (and counted), so backpressure under
+//! saturation shows up as `overload_retries`, not as a failed run.
 //!
-//! Latency is measured per batch round-trip; the run's p50/p99 and
-//! aggregate queries/sec land in `--json PATH` (the
-//! `bench_results/BENCH_serving.json` artifact in CI) with a `mode` field
-//! recording whether a debug or release build produced the numbers.
+//! The third form is the perf-trajectory harness: it spins up in-process
+//! servers over loopback TCP — thread-per-connection and pooled, at
+//! engine thread counts 1 and 4 — drives each with the identical
+//! workload, and writes one JSON with all four runs plus each pooled
+//! run's speedup over its thread-count-matched baseline. That file is
+//! the committed `bench_results/BENCH_serving.json`.
+//!
+//! Latency is measured per batch round-trip; p50/p99/p99.9 and aggregate
+//! queries/sec land in `--json PATH` with a `mode` field recording
+//! whether a debug or release build produced the numbers, plus the
+//! `connections`/`pipeline_depth` shape of the run.
 
 use ifs_core::{ReleaseAnswersEstimator, ReleaseAnswersIndicator, ReleaseDb, Snapshot, Subsample};
 use ifs_database::{generators, Itemset};
-use ifs_serve::{Answers, Client, QueryMode, Request, Response, ServedSketch};
+use ifs_serve::{
+    net, pool, Answers, Client, PoolConfig, QueryMode, Request, Response, ServeConfig,
+    ServedSketch, SketchServer,
+};
 use ifs_util::Rng64;
+use std::collections::VecDeque;
+use std::net::TcpListener;
 use std::process::ExitCode;
 use std::time::Instant;
 
 const USAGE: &str = "usage: ifs-loadgen --write-snapshots FILE [--seed N]\n       \
-                     ifs-loadgen --connect ADDR [--assume-loaded] [--batches N] \
-                     [--batch-size N] [--threads N] [--seed N] [--json PATH]";
+                     ifs-loadgen --connect ADDR [--assume-loaded] [--connections N] \
+                     [--pipeline M] [--batches N] [--batch-size N] [--threads N] [--seed N] \
+                     [--json PATH]\n       \
+                     ifs-loadgen --bench-matrix [--connections N] [--pipeline M] [--batches N] \
+                     [--batch-size N] [--seed N] [--json PATH]";
 
 /// Fleet shape: one database, one sketch per servable kind.
 const FLEET_ROWS: usize = 400;
@@ -43,7 +64,10 @@ const FLEET_ANSWERS_K: usize = 2;
 struct Args {
     write_snapshots: Option<String>,
     connect: Option<String>,
+    bench_matrix: bool,
     assume_loaded: bool,
+    connections: usize,
+    pipeline: usize,
     batches: usize,
     batch_size: usize,
     threads: usize,
@@ -55,7 +79,10 @@ fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         write_snapshots: None,
         connect: None,
+        bench_matrix: false,
         assume_loaded: false,
+        connections: 1,
+        pipeline: 1,
         batches: 64,
         batch_size: 256,
         threads: 2,
@@ -68,7 +95,16 @@ fn parse_args() -> Result<Args, String> {
         match flag.as_str() {
             "--write-snapshots" => args.write_snapshots = Some(value("--write-snapshots")?),
             "--connect" => args.connect = Some(value("--connect")?),
+            "--bench-matrix" => args.bench_matrix = true,
             "--assume-loaded" => args.assume_loaded = true,
+            "--connections" => {
+                args.connections =
+                    value("--connections")?.parse().map_err(|e| format!("--connections: {e}"))?;
+            }
+            "--pipeline" => {
+                args.pipeline =
+                    value("--pipeline")?.parse().map_err(|e| format!("--pipeline: {e}"))?;
+            }
             "--batches" => {
                 args.batches =
                     value("--batches")?.parse().map_err(|e| format!("--batches: {e}"))?;
@@ -86,8 +122,16 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
         }
     }
-    if args.write_snapshots.is_some() == args.connect.is_some() {
-        return Err(format!("exactly one of --write-snapshots or --connect\n{USAGE}"));
+    let modes = args.write_snapshots.is_some() as u8
+        + args.connect.is_some() as u8
+        + args.bench_matrix as u8;
+    if modes != 1 {
+        return Err(format!(
+            "exactly one of --write-snapshots, --connect, or --bench-matrix\n{USAGE}"
+        ));
+    }
+    if args.connections == 0 || args.pipeline == 0 {
+        return Err("--connections and --pipeline must be at least 1".into());
     }
     Ok(args)
 }
@@ -162,32 +206,169 @@ fn percentile_ms(sorted: &[f64], p: f64) -> f64 {
     sorted[idx]
 }
 
-#[allow(clippy::too_many_arguments)]
-fn write_json(
-    path: &str,
+/// The shape of one measured run.
+struct RunShape {
+    connections: usize,
+    pipeline: usize,
     batches: usize,
     batch_size: usize,
-    sketches: usize,
+    threads: usize,
+    seed: u64,
+}
+
+/// What one run measured.
+struct Measured {
     p50_ms: f64,
     p99_ms: f64,
+    p999_ms: f64,
     qps: f64,
-) -> Result<(), String> {
-    let mode = if cfg!(debug_assertions) { "debug" } else { "release" };
-    let queries_total = batches * batch_size;
-    let json = format!(
-        "{{\n  \"bench\": \"serving_load\",\n  \"mode\": \"{mode}\",\n  \
-         \"source\": \"loadgen\",\n  \"sketches\": {sketches},\n  \
-         \"batches\": {batches},\n  \"batch_size\": {batch_size},\n  \
-         \"queries_total\": {queries_total},\n  \"p50_ms\": {p50_ms:.3},\n  \
-         \"p99_ms\": {p99_ms:.3},\n  \"queries_per_sec\": {qps:.1},\n  \
-         \"identity_checked\": true\n}}\n"
+    overload_retries: u64,
+}
+
+/// Drives one connection: `batches` query batches, keeping up to
+/// `pipeline` requests outstanding, verifying every answer against the
+/// local oracle and retrying (and counting) `Overloaded` refusals.
+/// Returns the per-batch round-trip latencies and the retry count.
+fn drive_connection(
+    addr: &str,
+    oracle: &[ServedSketch],
+    shape: &RunShape,
+    conn_index: usize,
+) -> Result<(Vec<f64>, u64), String> {
+    let mut client = Client::connect(addr, 10_000)
+        .map_err(|e| format!("connection {conn_index}: {addr}: {e}"))?;
+    let mut rng = Rng64::seeded(
+        shape.seed ^ 0x10AD ^ (conn_index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
     );
+    let mut latencies_ms = Vec::with_capacity(shape.batches);
+    let mut retries = 0u64;
+    // Requests awaiting an answer (responses arrive strictly in send
+    // order) and requests refused with `Overloaded`, to re-send.
+    let mut outstanding: VecDeque<(Request, Answers, Instant)> = VecDeque::new();
+    let mut resend: VecDeque<(Request, Answers)> = VecDeque::new();
+    let mut built = 0usize;
+    let mut answered = 0usize;
+    while answered < shape.batches {
+        while outstanding.len() < shape.pipeline && (built < shape.batches || !resend.is_empty()) {
+            let (request, expected) = match resend.pop_front() {
+                Some(pair) => pair,
+                None => {
+                    let b = built;
+                    built += 1;
+                    let id = b % oracle.len();
+                    let sketch = &oracle[id];
+                    let modes = supported_modes(sketch);
+                    let mode = modes[(b / oracle.len()) % modes.len()];
+                    let queries = batch_for(sketch, shape.batch_size, &mut rng);
+                    let expected =
+                        sketch.answer(mode, &queries).map_err(|e| format!("oracle: {e}"))?;
+                    (Request::Query { id: id as u64, mode, queries }, expected)
+                }
+            };
+            client.send(&request).map_err(|e| format!("connection {conn_index}: send: {e}"))?;
+            outstanding.push_back((request, expected, Instant::now()));
+        }
+        let (request, expected, sent) =
+            outstanding.pop_front().expect("window is non-empty while batches remain");
+        let resp = client
+            .recv()
+            .map_err(|e| format!("connection {conn_index}: {e}"))?
+            .map_err(|e| format!("connection {conn_index}: response refused to decode: {e}"))?;
+        match resp {
+            Response::Error(e) if e.is_retryable() => {
+                retries += 1;
+                resend.push_back((request, expected));
+            }
+            resp => {
+                latencies_ms.push(sent.elapsed().as_secs_f64() * 1e3);
+                if !identical(&resp, &expected) {
+                    return Err(format!(
+                        "connection {conn_index}: served answers diverge from the offline \
+                         oracle ({resp:?} for {request:?})"
+                    ));
+                }
+                answered += 1;
+            }
+        }
+    }
+    Ok((latencies_ms, retries))
+}
+
+/// Drives a server at `addr` with the full workload shape: optionally
+/// loads the fleet, then runs `shape.connections` concurrent connections
+/// and aggregates their measurements.
+fn drive(
+    addr: &str,
+    oracle: &[ServedSketch],
+    frames: &[Vec<u8>],
+    shape: &RunShape,
+    load: bool,
+) -> Result<Measured, String> {
+    if load {
+        let mut loader = Client::connect(addr, 10_000).map_err(|e| format!("{addr}: {e}"))?;
+        for (id, frame) in frames.iter().enumerate() {
+            let resp = loader
+                .call(&Request::Load {
+                    id: id as u64,
+                    threads: shape.threads,
+                    frame: frame.clone(),
+                })
+                .map_err(|e| format!("load {id}: {e}"))?
+                .map_err(|e| format!("load {id}: response refused to decode: {e}"))?;
+            match resp {
+                Response::Loaded { size_bits, .. } | Response::Reloaded { size_bits, .. } => {
+                    if size_bits != frame.len() as u64 * 8 {
+                        return Err(format!(
+                            "load {id}: server measured {size_bits} bits, frame is {} bits",
+                            frame.len() * 8
+                        ));
+                    }
+                }
+                other => return Err(format!("load {id}: unexpected response {other:?}")),
+            }
+        }
+    }
+    let started = Instant::now();
+    let per_conn: Vec<Result<(Vec<f64>, u64), String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..shape.connections)
+            .map(|c| scope.spawn(move || drive_connection(addr, oracle, shape, c)))
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("connection thread panicked")).collect()
+    });
+    let elapsed = started.elapsed().as_secs_f64();
+    let mut latencies_ms = Vec::with_capacity(shape.connections * shape.batches);
+    let mut overload_retries = 0u64;
+    for result in per_conn {
+        let (lat, retries) = result?;
+        latencies_ms.extend(lat);
+        overload_retries += retries;
+    }
+    latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    let queries_total = (shape.connections * shape.batches * shape.batch_size) as f64;
+    Ok(Measured {
+        p50_ms: percentile_ms(&latencies_ms, 50.0),
+        p99_ms: percentile_ms(&latencies_ms, 99.0),
+        p999_ms: percentile_ms(&latencies_ms, 99.9),
+        qps: queries_total / elapsed.max(1e-9),
+        overload_retries,
+    })
+}
+
+fn build_mode() -> &'static str {
+    if cfg!(debug_assertions) {
+        "debug"
+    } else {
+        "release"
+    }
+}
+
+fn write_json(path: &str, body: String) -> Result<(), String> {
     if let Some(dir) = std::path::Path::new(path).parent() {
         if !dir.as_os_str().is_empty() {
             std::fs::create_dir_all(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
         }
     }
-    std::fs::write(path, json).map_err(|e| format!("{path}: {e}"))?;
+    std::fs::write(path, body).map_err(|e| format!("{path}: {e}"))?;
     println!("ifs-loadgen wrote {path}");
     Ok(())
 }
@@ -202,82 +383,193 @@ fn run_load(args: &Args) -> Result<(), String> {
         .iter()
         .map(|f| ServedSketch::admit(f, args.threads).map_err(|e| e.to_string()))
         .collect::<Result<_, _>>()?;
-
-    let mut client = Client::connect(addr, 10_000).map_err(|e| format!("{addr}: {e}"))?;
-    if !args.assume_loaded {
-        for (id, frame) in frames.iter().enumerate() {
-            let resp = client
-                .call(&Request::Load { id: id as u64, threads: args.threads, frame: frame.clone() })
-                .map_err(|e| format!("load {id}: {e}"))?
-                .map_err(|e| format!("load {id}: response refused to decode: {e}"))?;
-            match resp {
-                Response::Loaded { size_bits, .. } => {
-                    if size_bits != frame.len() as u64 * 8 {
-                        return Err(format!(
-                            "load {id}: server measured {size_bits} bits, frame is {} bits",
-                            frame.len() * 8
-                        ));
-                    }
-                }
-                other => return Err(format!("load {id}: unexpected response {other:?}")),
-            }
-        }
-    }
-
-    let mut rng = Rng64::seeded(args.seed ^ 0x10AD);
-    let mut latencies_ms = Vec::with_capacity(args.batches);
-    let started = Instant::now();
-    for b in 0..args.batches {
-        let id = b % oracle.len();
-        let sketch = &oracle[id];
-        let modes = supported_modes(sketch);
-        let mode = modes[(b / oracle.len()) % modes.len()];
-        let queries = batch_for(sketch, args.batch_size, &mut rng);
-        let expected = sketch.answer(mode, &queries).map_err(|e| format!("oracle: {e}"))?;
-        let sent = Instant::now();
-        let resp = client
-            .call(&Request::Query { id: id as u64, mode, queries })
-            .map_err(|e| format!("batch {b}: {e}"))?
-            .map_err(|e| format!("batch {b}: response refused to decode: {e}"))?;
-        latencies_ms.push(sent.elapsed().as_secs_f64() * 1e3);
-        if !identical(&resp, &expected) {
-            return Err(format!(
-                "batch {b}: served answers diverge from the offline oracle \
-                 (sketch {id}, mode {mode}, {} queries)",
-                args.batch_size
-            ));
-        }
-    }
-    let elapsed = started.elapsed().as_secs_f64();
-    let qps = (args.batches * args.batch_size) as f64 / elapsed.max(1e-9);
-
-    latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
-    let p50 = percentile_ms(&latencies_ms, 50.0);
-    let p99 = percentile_ms(&latencies_ms, 99.0);
+    let shape = RunShape {
+        connections: args.connections,
+        pipeline: args.pipeline,
+        batches: args.batches,
+        batch_size: args.batch_size,
+        threads: args.threads,
+        seed: args.seed,
+    };
+    let m = drive(addr, &oracle, &frames, &shape, !args.assume_loaded)?;
     println!(
-        "ifs-loadgen: {} batches x {} queries over {} sketches, all answers \
-         bit-identical to the offline oracle; p50 {p50:.3} ms, p99 {p99:.3} ms, \
-         {qps:.0} queries/s",
+        "ifs-loadgen: {} connections x {} batches x {} queries (pipeline {}) over {} \
+         sketches, all answers bit-identical to the offline oracle; p50 {:.3} ms, \
+         p99 {:.3} ms, p99.9 {:.3} ms, {:.0} queries/s, {} overload retries",
+        args.connections,
         args.batches,
         args.batch_size,
-        oracle.len()
+        args.pipeline,
+        oracle.len(),
+        m.p50_ms,
+        m.p99_ms,
+        m.p999_ms,
+        m.qps,
+        m.overload_retries
     );
+    let mut stats_client = Client::connect(addr, 2_000).map_err(|e| format!("{addr}: {e}"))?;
     if let Ok(Response::Stats(stats)) =
-        client.call(&Request::Stats).map_err(|e| e.to_string())?.map_err(|e| e.to_string())
+        stats_client.call(&Request::Stats).map_err(|e| e.to_string())?.map_err(|e| e.to_string())
     {
         println!(
             "ifs-loadgen: server stats: {} admitted, {} hot ({} / {} bits), \
-             {} batches served, {} evictions",
+             {} dispatches served, {} evictions, {} reloads",
             stats.admitted,
             stats.hot,
             stats.hot_bits,
             stats.budget_bits,
             stats.served_batches,
-            stats.evictions
+            stats.evictions,
+            stats.reloads
         );
     }
     if let Some(path) = &args.json {
-        write_json(path, args.batches, args.batch_size, oracle.len(), p50, p99, qps)?;
+        let queries_total = args.connections * args.batches * args.batch_size;
+        let json = format!(
+            "{{\n  \"bench\": \"serving_load\",\n  \"mode\": \"{}\",\n  \
+             \"source\": \"loadgen\",\n  \"sketches\": {},\n  \
+             \"connections\": {},\n  \"pipeline_depth\": {},\n  \
+             \"batches\": {},\n  \"batch_size\": {},\n  \
+             \"queries_total\": {queries_total},\n  \"p50_ms\": {:.3},\n  \
+             \"p99_ms\": {:.3},\n  \"p999_ms\": {:.3},\n  \
+             \"queries_per_sec\": {:.1},\n  \"overload_retries\": {},\n  \
+             \"identity_checked\": true\n}}\n",
+            build_mode(),
+            oracle.len(),
+            args.connections,
+            args.pipeline,
+            args.batches,
+            args.batch_size,
+            m.p50_ms,
+            m.p99_ms,
+            m.p999_ms,
+            m.qps,
+            m.overload_retries
+        );
+        write_json(path, json)?;
+    }
+    Ok(())
+}
+
+/// One matrix cell: transport x engine thread count, measured in-process
+/// over loopback TCP.
+struct MatrixRun {
+    transport: &'static str,
+    threads: usize,
+    pipeline: usize,
+    measured: Measured,
+}
+
+/// Runs the 2x2 perf matrix — {thread-per-connection, pooled} x
+/// {1, 4 engine threads} — with the identical workload, and writes one
+/// JSON recording every run plus each pooled run's speedup over its
+/// thread-count-matched baseline. The baseline keeps pipeline depth 1
+/// (its natural call/response shape); the pooled runs use
+/// `--pipeline`.
+fn bench_matrix(args: &Args) -> Result<(), String> {
+    let frames = fleet_frames(args.seed);
+    let mut runs: Vec<MatrixRun> = Vec::new();
+    for threads in [1usize, 4] {
+        for pooled in [false, true] {
+            let oracle: Vec<ServedSketch> = frames
+                .iter()
+                .map(|f| ServedSketch::admit(f, threads).map_err(|e| e.to_string()))
+                .collect::<Result<_, _>>()?;
+            let server = SketchServer::new(ServeConfig {
+                default_threads: threads,
+                ..ServeConfig::default()
+            });
+            let listener =
+                TcpListener::bind("127.0.0.1:0").map_err(|e| format!("bind loopback: {e}"))?;
+            let addr = listener.local_addr().map_err(|e| e.to_string())?.to_string();
+            let shape = RunShape {
+                connections: args.connections,
+                pipeline: if pooled { args.pipeline } else { 1 },
+                batches: args.batches,
+                batch_size: args.batch_size,
+                threads,
+                seed: args.seed,
+            };
+            // The loader client plus the driving connections.
+            let accept = Some(args.connections + 1);
+            let pool_config = PoolConfig::default();
+            let measured = std::thread::scope(|scope| {
+                let server = &server;
+                let listener = &listener;
+                let pool_config = &pool_config;
+                scope.spawn(move || {
+                    let served = if pooled {
+                        pool::serve_pooled(server, listener, pool_config, accept)
+                    } else {
+                        net::serve_listener(server, listener, accept)
+                    };
+                    served.expect("in-process server serves its connections");
+                });
+                drive(&addr, &oracle, &frames, &shape, true)
+            })?;
+            let transport = if pooled { "pooled" } else { "threaded" };
+            println!(
+                "ifs-loadgen matrix: {transport} threads={threads} pipeline={}: \
+                 {:.0} queries/s (p50 {:.3} ms, p99 {:.3} ms, p99.9 {:.3} ms, {} retries)",
+                shape.pipeline,
+                measured.qps,
+                measured.p50_ms,
+                measured.p99_ms,
+                measured.p999_ms,
+                measured.overload_retries
+            );
+            runs.push(MatrixRun { transport, threads, pipeline: shape.pipeline, measured });
+        }
+    }
+    let baseline_qps = |threads: usize| {
+        runs.iter()
+            .find(|r| r.transport == "threaded" && r.threads == threads)
+            .map(|r| r.measured.qps)
+            .expect("matrix ran the threaded baseline")
+    };
+    let mut min_pooled_speedup = f64::INFINITY;
+    let mut run_objects = Vec::new();
+    for run in &runs {
+        let speedup = run.measured.qps / baseline_qps(run.threads);
+        if run.transport == "pooled" {
+            min_pooled_speedup = min_pooled_speedup.min(speedup);
+        }
+        run_objects.push(format!(
+            "    {{\n      \"transport\": \"{}\",\n      \"threads\": {},\n      \
+             \"pipeline_depth\": {},\n      \"p50_ms\": {:.3},\n      \
+             \"p99_ms\": {:.3},\n      \"p999_ms\": {:.3},\n      \
+             \"queries_per_sec\": {:.1},\n      \"overload_retries\": {},\n      \
+             \"speedup_vs_threaded\": {:.2}\n    }}",
+            run.transport,
+            run.threads,
+            run.pipeline,
+            run.measured.p50_ms,
+            run.measured.p99_ms,
+            run.measured.p999_ms,
+            run.measured.qps,
+            run.measured.overload_retries,
+            speedup
+        ));
+    }
+    println!("ifs-loadgen matrix: min pooled speedup {min_pooled_speedup:.2}x over the baseline");
+    if let Some(path) = &args.json {
+        let queries_total = args.connections * args.batches * args.batch_size;
+        let json = format!(
+            "{{\n  \"bench\": \"serving_load\",\n  \"mode\": \"{}\",\n  \
+             \"source\": \"loadgen-matrix\",\n  \"sketches\": {},\n  \
+             \"connections\": {},\n  \"pipeline_depth\": {},\n  \
+             \"batches\": {},\n  \"batch_size\": {},\n  \
+             \"queries_total\": {queries_total},\n  \"identity_checked\": true,\n  \
+             \"min_pooled_speedup\": {min_pooled_speedup:.2},\n  \"runs\": [\n{}\n  ]\n}}\n",
+            build_mode(),
+            frames.len(),
+            args.connections,
+            args.pipeline,
+            args.batches,
+            args.batch_size,
+            run_objects.join(",\n")
+        );
+        write_json(path, json)?;
     }
     Ok(())
 }
@@ -286,6 +578,7 @@ fn run() -> Result<(), String> {
     let args = parse_args()?;
     match &args.write_snapshots {
         Some(path) => write_snapshots(path, args.seed),
+        None if args.bench_matrix => bench_matrix(&args),
         None => run_load(&args),
     }
 }

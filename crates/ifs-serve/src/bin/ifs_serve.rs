@@ -3,6 +3,7 @@
 //! ```text
 //! ifs-serve --listen 127.0.0.1:7464 [--snapshots FILE] [--budget-bits N]
 //!           [--max-in-flight N] [--threads N] [--accept N]
+//!           [--workers N] [--threaded]
 //! ```
 //!
 //! `--snapshots FILE` preloads a file of concatenated snapshot frames
@@ -11,17 +12,25 @@
 //! serves exactly `N` connections and exits — the shape CI's end-to-end
 //! smoke uses; omit it to serve forever.
 //!
+//! The transport is the **pooled** one (DESIGN.md §13) by default:
+//! `--workers N` sizes the handler pool (`0` = auto from the machine's
+//! parallelism; the `IFS_SERVE_WORKERS` environment variable is the
+//! flag's default). `--threaded` selects the legacy thread-per-connection
+//! transport — the baseline `ifs-loadgen --bench-matrix` measures the
+//! pool against.
+//!
 //! Operational inputs refuse with a message and a nonzero exit, never a
-//! panic: a malformed `IFS_THREADS`, an unreadable or corrupt snapshot
-//! file, or an unbindable address all exit 2 with the typed error printed.
+//! panic: a malformed `IFS_THREADS` or `IFS_SERVE_WORKERS`, an unreadable
+//! or corrupt snapshot file, or an unbindable address all exit 2 with the
+//! typed error printed.
 
-use ifs_serve::{net, ServeConfig, SketchServer};
-use ifs_util::threads::try_env_threads;
+use ifs_serve::{net, pool, PoolConfig, ServeConfig, SketchServer};
+use ifs_util::threads::{try_env_threads, try_env_threads_var};
 use std::net::TcpListener;
 use std::process::ExitCode;
 
 const USAGE: &str = "usage: ifs-serve --listen ADDR [--snapshots FILE] [--budget-bits N] \
-                     [--max-in-flight N] [--threads N] [--accept N]";
+                     [--max-in-flight N] [--threads N] [--accept N] [--workers N] [--threaded]";
 
 struct Args {
     listen: String,
@@ -30,6 +39,8 @@ struct Args {
     max_in_flight: usize,
     threads: usize,
     accept: Option<usize>,
+    workers: Option<usize>,
+    threaded: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -41,6 +52,8 @@ fn parse_args() -> Result<Args, String> {
         max_in_flight: defaults.max_in_flight,
         threads: 0,
         accept: None,
+        workers: None,
+        threaded: false,
     };
     let mut iter = std::env::args().skip(1);
     while let Some(flag) = iter.next() {
@@ -65,6 +78,11 @@ fn parse_args() -> Result<Args, String> {
                 args.accept =
                     Some(value("--accept")?.parse().map_err(|e| format!("--accept: {e}"))?);
             }
+            "--workers" => {
+                args.workers =
+                    Some(value("--workers")?.parse().map_err(|e| format!("--workers: {e}"))?);
+            }
+            "--threaded" => args.threaded = true,
             other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
         }
     }
@@ -96,9 +114,11 @@ fn preload(server: &SketchServer, path: &str) -> Result<u64, String> {
 }
 
 fn run() -> Result<(), String> {
-    // The non-panicking env parse: a bad IFS_THREADS refuses the whole
-    // process startup with a message instead of a panic mid-serve.
+    // The non-panicking env parses: a bad IFS_THREADS or IFS_SERVE_WORKERS
+    // refuses the whole process startup with a message instead of a panic
+    // mid-serve.
     let env_threads = try_env_threads().map_err(|e| e.to_string())?;
+    let env_workers = try_env_threads_var("IFS_SERVE_WORKERS").map_err(|e| e.to_string())?;
     let mut args = parse_args()?;
     if args.threads == 0 {
         args.threads = env_threads;
@@ -114,9 +134,19 @@ fn run() -> Result<(), String> {
     }
     let listener = TcpListener::bind(&args.listen).map_err(|e| format!("{}: {e}", args.listen))?;
     let local = listener.local_addr().map_err(|e| e.to_string())?;
-    // Announce readiness on stdout so scripts can wait for this line.
-    println!("ifs-serve listening on {local}");
-    net::serve_listener(&server, &listener, args.accept).map_err(|e| e.to_string())
+    if args.threaded {
+        // Announce readiness on stdout so scripts can wait for this line.
+        println!("ifs-serve listening on {local} (thread-per-connection)");
+        net::serve_listener(&server, &listener, args.accept).map_err(|e| e.to_string())
+    } else {
+        // Flag beats environment beats auto, like --threads/IFS_THREADS.
+        let config = PoolConfig {
+            workers: args.workers.or(env_workers).unwrap_or(0),
+            ..PoolConfig::default()
+        };
+        println!("ifs-serve listening on {local} (pooled, {} workers)", config.resolved_workers());
+        pool::serve_pooled(&server, &listener, &config, args.accept).map_err(|e| e.to_string())
+    }
 }
 
 fn main() -> ExitCode {

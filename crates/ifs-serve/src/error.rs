@@ -97,6 +97,21 @@ impl std::fmt::Display for ServeError {
 
 impl std::error::Error for ServeError {}
 
+impl ServeError {
+    /// True iff retrying the *same* request later can succeed.
+    ///
+    /// Only [`Overloaded`](ServeError::Overloaded) qualifies: it refuses a
+    /// well-formed request purely because of the server's momentary
+    /// in-flight occupancy, so backing off and resending is the intended
+    /// client response (`ifs-loadgen` does exactly that under pipelined
+    /// load). Every other variant condemns the request or frame itself —
+    /// malformed bytes, an unknown id, an out-of-contract query — and
+    /// resending identical bytes refuses identically.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, ServeError::Overloaded { .. })
+    }
+}
+
 impl From<DecodeError> for ServeError {
     fn from(e: DecodeError) -> Self {
         ServeError::Decode(e)
@@ -285,6 +300,21 @@ mod tests {
             let mut r = Reader::new(&bytes);
             assert_eq!(ServeError::decode(&mut r).expect("roundtrip"), e);
             assert_eq!(r.remaining(), 0, "{e}: codec must consume exactly its bytes");
+        }
+    }
+
+    #[test]
+    fn only_overload_is_retryable() {
+        assert!(ServeError::Overloaded { in_flight: 4, limit: 4 }.is_retryable());
+        for e in [
+            ServeError::Decode(DecodeError::BadMagic(7)),
+            ServeError::UnknownSketch { id: 1 },
+            ServeError::UnservableKind { kind: 5 },
+            ServeError::FrameOverBudget { size_bits: 9, budget_bits: 8 },
+            ServeError::Unanswerable { kind: 3, mode: QueryMode::Estimate },
+            ServeError::BadQuery { index: 0, reason: "x".into() },
+        ] {
+            assert!(!e.is_retryable(), "{e} must not invite a retry");
         }
     }
 

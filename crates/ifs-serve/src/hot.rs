@@ -90,6 +90,13 @@ impl HotSet {
         Some(sketch)
     }
 
+    /// The decoded sketch at `id` *without* touching recency — for
+    /// observers (hot-reload tests, stats probes) that must not perturb
+    /// the LRU order the serving path maintains.
+    pub fn peek(&self, id: u64) -> Option<Arc<ServedSketch>> {
+        self.entries.get(&id).map(|e| Arc::clone(&e.sketch))
+    }
+
     /// Drops the decoded form of `id` (the admitted frame, which this type
     /// never held, stays behind). Returns whether it was decoded.
     pub fn remove(&mut self, id: u64) -> bool {

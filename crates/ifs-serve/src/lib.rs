@@ -36,6 +36,9 @@
 //!   backpressure ([`BatchSlot`]).
 //! - [`net`] — blocking TCP transport and a [`Client`], plus the
 //!   `ifs-serve` and `ifs-loadgen` binaries on top.
+//! - [`pool`] — the pooled transport (DESIGN.md §13): a fixed worker
+//!   pool multiplexing nonblocking connections with pipelining,
+//!   cross-connection micro-batching, and hot-reload-safe dispatch.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -43,6 +46,7 @@
 pub mod error;
 pub mod hot;
 pub mod net;
+pub mod pool;
 pub mod protocol;
 pub mod server;
 pub mod sketch;
@@ -50,9 +54,10 @@ pub mod sketch;
 pub use error::ServeError;
 pub use hot::HotSet;
 pub use net::{Client, MAX_WIRE_FRAME};
+pub use pool::{serve_pooled, PoolConfig, PoolWorker};
 pub use protocol::{
     EncodeBuf, QueryMode, Request, Response, ServerStats, PROTOCOL_VERSION, REQUEST_KIND,
     RESPONSE_KIND,
 };
-pub use server::{BatchSlot, ServeConfig, SketchServer};
+pub use server::{BatchSlot, LoadOutcome, ServeConfig, SketchServer};
 pub use sketch::{Answers, ServedSketch};

@@ -104,6 +104,61 @@ pub fn write_frame<W: Write>(stream: &mut W, frame: &[u8]) -> io::Result<()> {
     stream.flush()
 }
 
+/// Finds the first frame boundary in a buffered prefix of a byte stream —
+/// the incremental-parse form of [`read_frame_into`] the pooled
+/// (nonblocking) transport uses, where bytes arrive in arbitrary chunks
+/// and a partial frame must simply wait for more.
+///
+/// - `Ok(Some(len))` — `buf[..len]` is one complete frame.
+/// - `Ok(None)` — `buf` is a valid but incomplete prefix; read more.
+/// - `Err(_)` — `buf` can never extend to a frame (bad magic, malformed
+///   or oversized length); the stream position is meaningless and the
+///   connection should be closed after one typed error response.
+///
+/// Exactly the checks [`read_frame_into`] performs, judged over a slice:
+/// both transports refuse the same streams with the same errors.
+pub fn frame_boundary(buf: &[u8]) -> Result<Option<usize>, DecodeError> {
+    if buf.len() < 4 {
+        return Ok(None);
+    }
+    let magic = u32::from_le_bytes(buf[..4].try_into().expect("4 bytes"));
+    if magic != SNAPSHOT_MAGIC {
+        return Err(DecodeError::BadMagic(magic));
+    }
+    // Header is magic u32 + kind u16 + version u16; varint length follows.
+    let mut body_len = 0u64;
+    let mut shift = 0u32;
+    let mut at = 8;
+    loop {
+        let Some(&b) = buf.get(at) else {
+            return Ok(None);
+        };
+        at += 1;
+        let payload = u64::from(b & 0x7F);
+        if shift >= 63 && payload > 1 {
+            return Err(DecodeError::Corrupt("frame length varint overflows u64".into()));
+        }
+        body_len |= payload << shift;
+        if b & 0x80 == 0 {
+            break;
+        }
+        shift += 7;
+        if shift > 63 {
+            return Err(DecodeError::Corrupt(
+                "frame length varint continues beyond 10 bytes".into(),
+            ));
+        }
+    }
+    if body_len > MAX_WIRE_FRAME as u64 {
+        return Err(DecodeError::Corrupt(format!(
+            "frame declares a {body_len}-byte body, transport cap is {MAX_WIRE_FRAME}"
+        )));
+    }
+    // Body + trailing u64 checksum.
+    let total = at + body_len as usize + 8;
+    Ok(if buf.len() >= total { Some(total) } else { None })
+}
+
 /// Serves one connection to completion: one response frame per request
 /// frame, in order. Returns when the peer closes, the transport fails, or
 /// an unframeable byte stream forces a close (after a final typed error
@@ -193,7 +248,21 @@ impl Client {
     /// transport failure (including the server closing mid-call); the
     /// inner `Err` means the response bytes refused to decode.
     pub fn call(&mut self, request: &Request) -> io::Result<Result<Response, DecodeError>> {
-        write_frame(&mut self.stream, request.encode_into(&mut self.buf))?;
+        self.send(request)?;
+        self.recv()
+    }
+
+    /// Writes one request frame without waiting for its response — the
+    /// pipelined half of [`call`](Self::call). The server answers strictly
+    /// in send order on this connection, so `k` sends followed by `k`
+    /// [`recv`](Self::recv)s pair up positionally.
+    pub fn send(&mut self, request: &Request) -> io::Result<()> {
+        write_frame(&mut self.stream, request.encode_into(&mut self.buf))
+    }
+
+    /// Blocks for the next in-order response to a previous
+    /// [`send`](Self::send). Error layering as in [`call`](Self::call).
+    pub fn recv(&mut self) -> io::Result<Result<Response, DecodeError>> {
         match read_frame_into(&mut self.stream, &mut self.frame)? {
             None => {
                 Err(io::Error::new(io::ErrorKind::UnexpectedEof, "server closed before responding"))
@@ -241,6 +310,32 @@ mod tests {
         let whole = Request::Stats.to_bytes();
         let mut cut = &whole[..whole.len() - 3];
         assert!(read_frame(&mut cut).is_err());
+    }
+
+    /// The incremental parser must agree with the blocking reader on
+    /// every prefix: incomplete prefixes wait, the exact frame length is
+    /// found, trailing bytes are left alone, and unframeable prefixes
+    /// refuse with the same errors.
+    #[test]
+    fn frame_boundary_agrees_with_the_blocking_reader() {
+        let frame = Request::Stats.to_bytes();
+        for cut in 0..frame.len() {
+            assert_eq!(frame_boundary(&frame[..cut]), Ok(None), "prefix of {cut} bytes");
+        }
+        assert_eq!(frame_boundary(&frame), Ok(Some(frame.len())));
+        // A second frame's bytes behind the first are not consumed.
+        let mut two = frame.clone();
+        two.extend_from_slice(&frame);
+        assert_eq!(frame_boundary(&two), Ok(Some(frame.len())));
+        // Bad magic refuses as soon as 4 bytes are visible.
+        assert!(matches!(frame_boundary(b"NOTAFRAME"), Err(DecodeError::BadMagic(_))));
+        // Oversized declared length refuses like the blocking reader.
+        let mut huge = SNAPSHOT_MAGIC.to_le_bytes().to_vec();
+        huge.extend_from_slice(&64u16.to_le_bytes());
+        huge.extend_from_slice(&1u16.to_le_bytes());
+        huge.extend_from_slice(&[0xFF; 9]);
+        huge.push(0x01);
+        assert!(matches!(frame_boundary(&huge), Err(DecodeError::Corrupt(_))));
     }
 
     #[test]

@@ -1,0 +1,834 @@
+//! Pooled, pipelined transport: a fixed worker pool multiplexing many
+//! connections, with cross-connection micro-batching (DESIGN.md §13).
+//!
+//! [`crate::net::serve_listener`] spends one OS thread (and stack) per
+//! connection and answers one frame at a time, so at high fan-in the
+//! syscall and dispatch overhead — not the kernels — bound throughput.
+//! This module replaces that shape with [`serve_pooled`]: a fixed set of
+//! [`PoolWorker`]s, each owning a disjoint set of nonblocking connections
+//! and their reusable buffers, polled in a read → dispatch → write loop.
+//!
+//! Three properties define the hot path, and each is load-bearing for the
+//! tier's bit-identity contract:
+//!
+//! - **Pipelining.** A connection may write many request frames before
+//!   reading. The worker parses read-ahead bytes into a per-connection
+//!   queue ([`frame_boundary`] finds boundaries incrementally, so a
+//!   partial frame on one connection never blocks another) and answers
+//!   strictly in arrival order per connection.
+//! - **Micro-batching.** Within one dispatch sub-round, the maximal
+//!   *prefix run* of Query requests at each connection's queue head is
+//!   taken, and runs across connections are grouped by `(id, mode)` into
+//!   one engine dispatch under one [`BatchSlot`](crate::server::BatchSlot).
+//!   Aggregation only regroups work — per-query supports are independent
+//!   of batch composition, so scattering the concatenated answers back is
+//!   bit-identical to answering each request alone. Requests are
+//!   validated *individually* before joining an aggregate, so one
+//!   malformed query refuses only its own request.
+//! - **Ordering across kinds.** Non-query requests (Load, Stats) act as
+//!   sub-round barriers: a queue's head is handled before any later query
+//!   in that queue joins an aggregate, so a pipelined
+//!   `[Query, Load, Query]` observes exactly the sequential semantics —
+//!   the second query answers the just-(re)loaded snapshot.
+//!
+//! Snapshot hot-reload composes with this for free: a dispatch resolves
+//! `id → Arc<ServedSketch>` exactly once (per group, per sub-round), so a
+//! concurrent re-admit under the same id lets in-flight batches drain on
+//! the old decoded form while the next sub-round answers the new one —
+//! no request ever observes a torn state.
+
+use crate::net::frame_boundary;
+use crate::protocol::{EncodeBuf, QueryMode, Request, Response};
+use crate::server::{LoadOutcome, SketchServer};
+use crate::sketch::Answers;
+use ifs_database::Itemset;
+use ifs_util::threads::clamp_threads;
+use std::collections::{BTreeMap, VecDeque};
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Operator knobs of the pooled transport.
+#[derive(Debug, Clone)]
+pub struct PoolConfig {
+    /// Handler workers. `0` means auto: `available_parallelism`, clamped
+    /// like every other worker-count knob. The `ifs-serve` binary feeds
+    /// `IFS_SERVE_WORKERS` through here.
+    pub workers: usize,
+    /// Read-ahead bound: parsed-but-unanswered requests buffered per
+    /// connection. A pipelining client deeper than this is simply not
+    /// read from until responses drain — flow control, not an error.
+    pub readahead: usize,
+    /// How long an idle worker sleeps between polls of its connections.
+    pub idle_sleep: Duration,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        Self { workers: 0, readahead: 64, idle_sleep: Duration::from_micros(50) }
+    }
+}
+
+impl PoolConfig {
+    /// The worker count this config resolves to: `workers` if nonzero,
+    /// otherwise the machine's available parallelism, clamped either way.
+    pub fn resolved_workers(&self) -> usize {
+        let n = if self.workers == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            self.workers
+        };
+        clamp_threads(n)
+    }
+}
+
+/// One parsed inbound item, queued in arrival order. A complete frame
+/// that fails request decoding (bad checksum, unknown tag) still occupies
+/// its arrival slot, as the typed error response it will be answered with
+/// — in-order responses are the pipelining contract.
+enum Pending {
+    Request(Request),
+    Immediate(Response),
+}
+
+/// One multiplexed connection: the stream plus every per-connection
+/// reusable buffer (inbound bytes, parsed queue, outbound bytes, encode
+/// scratch). A warm connection allocates nothing at the framing layer.
+struct Conn<S> {
+    stream: S,
+    /// Unparsed inbound bytes (a partial frame at most `MAX_WIRE_FRAME`).
+    inbuf: Vec<u8>,
+    /// Parsed, not yet answered, in arrival order.
+    queue: VecDeque<Pending>,
+    /// Encoded responses not yet fully written.
+    outbuf: Vec<u8>,
+    /// Prefix of `outbuf` already written to the stream.
+    written: usize,
+    buf: EncodeBuf,
+    /// Peer closed its write side (or transport failed): answer what is
+    /// queued, flush, then drop.
+    eof: bool,
+    /// The stream is unframeable: stop reading, answer queued items
+    /// (ending with the typed framing error), flush, then drop.
+    closing: bool,
+}
+
+impl<S> Conn<S> {
+    fn new(stream: S) -> Self {
+        Self {
+            stream,
+            inbuf: Vec::new(),
+            queue: VecDeque::new(),
+            outbuf: Vec::new(),
+            written: 0,
+            buf: EncodeBuf::new(),
+            eof: false,
+            closing: false,
+        }
+    }
+
+    /// Done: nothing queued, nothing to flush, and no more bytes coming.
+    fn finished(&self) -> bool {
+        (self.eof || self.closing) && self.queue.is_empty() && self.written == self.outbuf.len()
+    }
+}
+
+fn mode_tag(mode: QueryMode) -> u8 {
+    match mode {
+        QueryMode::Estimate => 1,
+        QueryMode::Indicator => 2,
+    }
+}
+
+/// One handler worker: a disjoint set of connections polled in a
+/// read → dispatch → write loop. Generic over the stream type so the
+/// loop's ordering, fairness, and blast-radius properties are testable
+/// deterministically on scripted in-memory streams; the TCP shape is
+/// [`serve_pooled`].
+pub struct PoolWorker<'s, S> {
+    server: &'s SketchServer,
+    conns: Vec<Conn<S>>,
+    readahead: usize,
+    chunk: Vec<u8>,
+}
+
+impl<'s, S: Read + Write> PoolWorker<'s, S> {
+    /// A worker with no connections yet.
+    pub fn new(server: &'s SketchServer, config: &PoolConfig) -> Self {
+        Self {
+            server,
+            conns: Vec::new(),
+            readahead: config.readahead.max(1),
+            chunk: vec![0; 16 * 1024],
+        }
+    }
+
+    /// Adopts a connection. For TCP the stream must already be
+    /// nonblocking; any stream whose `read`/`write` return
+    /// [`io::ErrorKind::WouldBlock`] instead of blocking works.
+    pub fn push(&mut self, stream: S) {
+        self.conns.push(Conn::new(stream));
+    }
+
+    /// Live connections.
+    pub fn len(&self) -> usize {
+        self.conns.len()
+    }
+
+    /// True iff no connections remain.
+    pub fn is_empty(&self) -> bool {
+        self.conns.is_empty()
+    }
+
+    /// One poll over every connection: read available bytes and parse
+    /// frames, run dispatch sub-rounds until every queue is empty, write
+    /// what can be written, drop finished connections. Returns whether
+    /// any byte moved or any request was answered — `false` means the
+    /// caller may sleep before polling again.
+    pub fn pass(&mut self) -> bool {
+        let mut did = false;
+        for conn in &mut self.conns {
+            did |= Self::read_and_parse(conn, self.readahead, &mut self.chunk);
+        }
+        did |= self.dispatch();
+        for conn in &mut self.conns {
+            did |= Self::write_some(conn);
+        }
+        self.conns.retain(|c| !c.finished());
+        did
+    }
+
+    /// Nonblocking read into the connection's inbound buffer, then parse
+    /// complete frames into its queue. A partial frame stays buffered —
+    /// and costs the *other* connections nothing, because this never
+    /// blocks. An unframeable prefix queues one typed error response and
+    /// marks the connection closing (the stream position is meaningless,
+    /// exactly the blocking transport's contract).
+    fn read_and_parse(conn: &mut Conn<S>, readahead: usize, chunk: &mut [u8]) -> bool {
+        let mut did = false;
+        if !conn.eof && !conn.closing && conn.queue.len() < readahead {
+            loop {
+                match conn.stream.read(chunk) {
+                    Ok(0) => {
+                        conn.eof = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        conn.inbuf.extend_from_slice(&chunk[..n]);
+                        did = true;
+                        if n < chunk.len() {
+                            break;
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        conn.eof = true;
+                        break;
+                    }
+                }
+            }
+        }
+        let mut consumed = 0;
+        while !conn.closing && conn.queue.len() < readahead {
+            match frame_boundary(&conn.inbuf[consumed..]) {
+                Ok(None) => break,
+                Ok(Some(len)) => {
+                    let frame = &conn.inbuf[consumed..consumed + len];
+                    conn.queue.push_back(match Request::from_bytes(frame) {
+                        Ok(req) => Pending::Request(req),
+                        Err(e) => Pending::Immediate(Response::Error(e.into())),
+                    });
+                    consumed += len;
+                    did = true;
+                }
+                Err(e) => {
+                    conn.queue.push_back(Pending::Immediate(Response::Error(e.into())));
+                    conn.closing = true;
+                    did = true;
+                }
+            }
+        }
+        if consumed > 0 {
+            conn.inbuf.drain(..consumed);
+        }
+        did
+    }
+
+    /// Dispatch sub-rounds until every queue is empty. Each sub-round:
+    /// (a) answer every non-query queue head (Load/Stats and queued
+    /// decode errors) in order — these are the barriers; (b) take each
+    /// queue's maximal prefix run of Query requests, group the runs
+    /// across connections by `(id, mode)`, execute each group as one
+    /// engine dispatch, and scatter answers back in arrival order.
+    fn dispatch(&mut self) -> bool {
+        let mut did = false;
+        loop {
+            let mut round = false;
+            for conn in &mut self.conns {
+                loop {
+                    match conn.queue.front() {
+                        Some(Pending::Request(Request::Query { .. })) | None => break,
+                        Some(_) => {}
+                    }
+                    let resp = match conn.queue.pop_front().expect("front was Some") {
+                        Pending::Immediate(resp) => resp,
+                        Pending::Request(req) => Self::respond_control(self.server, req),
+                    };
+                    let frame = resp.encode_into(&mut conn.buf);
+                    conn.outbuf.extend_from_slice(frame);
+                    round = true;
+                }
+            }
+            // Maximal prefix runs of queries, taken per connection in
+            // arrival order; `taken`'s order within one connection is
+            // therefore that connection's response order.
+            let mut taken: Vec<(usize, u64, QueryMode, Vec<Itemset>)> = Vec::new();
+            for (ci, conn) in self.conns.iter_mut().enumerate() {
+                while matches!(conn.queue.front(), Some(Pending::Request(Request::Query { .. }))) {
+                    let Some(Pending::Request(Request::Query { id, mode, queries })) =
+                        conn.queue.pop_front()
+                    else {
+                        unreachable!("front matched Query")
+                    };
+                    taken.push((ci, id, mode, queries));
+                }
+            }
+            if !taken.is_empty() {
+                round = true;
+                let responses = self.execute(&taken);
+                for ((ci, _, _, _), resp) in taken.iter().zip(responses) {
+                    let conn = &mut self.conns[*ci];
+                    let frame = resp.encode_into(&mut conn.buf);
+                    conn.outbuf.extend_from_slice(frame);
+                }
+            }
+            did |= round;
+            if !round {
+                return did;
+            }
+        }
+    }
+
+    /// Answers one non-query request — identical response surface to
+    /// [`SketchServer::handle_into`]'s Load and Stats arms.
+    fn respond_control(server: &SketchServer, req: Request) -> Response {
+        match req {
+            Request::Load { id, threads, frame } => match server.load_frame(id, threads, &frame) {
+                Ok(LoadOutcome {
+                    kind,
+                    size_bits,
+                    generation,
+                    previous_kind: Some(previous_kind),
+                    evicted,
+                }) => {
+                    Response::Reloaded { id, kind, size_bits, generation, previous_kind, evicted }
+                }
+                Ok(LoadOutcome { kind, size_bits, evicted, .. }) => {
+                    Response::Loaded { id, kind, size_bits, evicted }
+                }
+                Err(e) => Response::Error(e),
+            },
+            Request::Stats => Response::Stats(server.stats()),
+            Request::Query { .. } => unreachable!("queries go through execute()"),
+        }
+    }
+
+    /// Executes one sub-round's taken queries: groups by `(id, mode)`,
+    /// resolves each group's sketch `Arc` once (so every request in the
+    /// group answers the same snapshot generation), validates each
+    /// request individually, then runs the group's survivors as one
+    /// concatenated batch under one in-flight slot and scatters the
+    /// answers back. Returns one response per taken request, aligned.
+    fn execute(&self, taken: &[(usize, u64, QueryMode, Vec<Itemset>)]) -> Vec<Response> {
+        let mut responses: Vec<Option<Response>> = (0..taken.len()).map(|_| None).collect();
+        let mut groups: BTreeMap<(u64, u8), Vec<usize>> = BTreeMap::new();
+        for (i, (_, id, mode, _)) in taken.iter().enumerate() {
+            groups.entry((*id, mode_tag(*mode))).or_default().push(i);
+        }
+        for ((id, _), members) in groups {
+            let mode = taken[members[0]].2;
+            let sketch = match self.server.sketch(id) {
+                Ok(sketch) => sketch,
+                Err(e) => {
+                    for &m in &members {
+                        responses[m] = Some(Response::Error(e.clone()));
+                    }
+                    continue;
+                }
+            };
+            // Pre-validate each request alone: a bad query refuses only
+            // its own request (with the same typed error the unpooled
+            // path produces) and never joins the aggregate.
+            let mut valid = Vec::with_capacity(members.len());
+            for &m in &members {
+                let queries = &taken[m].3;
+                if !sketch.supports(mode) {
+                    let err = sketch.answer(mode, queries).expect_err("unsupported mode refuses");
+                    responses[m] = Some(Response::Error(err));
+                } else if let Err(e) = sketch.validate(queries) {
+                    responses[m] = Some(Response::Error(e));
+                } else {
+                    valid.push(m);
+                }
+            }
+            if valid.is_empty() {
+                continue;
+            }
+            // One backpressure slot and one engine dispatch for the whole
+            // aggregated group — the point of micro-batching.
+            let slot = match self.server.try_begin_batch() {
+                Ok(slot) => slot,
+                Err(e) => {
+                    for &m in &valid {
+                        responses[m] = Some(Response::Error(e.clone()));
+                    }
+                    continue;
+                }
+            };
+            let mut all: Vec<Itemset> = Vec::new();
+            for &m in &valid {
+                all.extend_from_slice(&taken[m].3);
+            }
+            match sketch.answer(mode, &all) {
+                Ok(answers) => {
+                    self.server.record_dispatch();
+                    let mut at = 0;
+                    for &m in &valid {
+                        let n = taken[m].3.len();
+                        responses[m] = Some(match &answers {
+                            Answers::Estimates(v) => Response::Estimates(v[at..at + n].to_vec()),
+                            Answers::Indicators(v) => Response::Indicators(v[at..at + n].to_vec()),
+                        });
+                        at += n;
+                    }
+                }
+                // Unreachable given per-request validation, but a server
+                // must degrade to per-request answers, not panic.
+                Err(_) => {
+                    for &m in &valid {
+                        responses[m] = Some(match sketch.answer(mode, &taken[m].3) {
+                            Ok(Answers::Estimates(v)) => Response::Estimates(v),
+                            Ok(Answers::Indicators(v)) => Response::Indicators(v),
+                            Err(e) => Response::Error(e),
+                        });
+                        self.server.record_dispatch();
+                    }
+                }
+            }
+            drop(slot);
+        }
+        responses.into_iter().map(|r| r.expect("every taken request answered")).collect()
+    }
+
+    /// Writes as much buffered output as the stream accepts without
+    /// blocking, tracking the partial-write position.
+    fn write_some(conn: &mut Conn<S>) -> bool {
+        let mut did = false;
+        while conn.written < conn.outbuf.len() {
+            match conn.stream.write(&conn.outbuf[conn.written..]) {
+                Ok(0) => {
+                    conn.eof = true;
+                    conn.queue.clear();
+                    conn.written = conn.outbuf.len();
+                    break;
+                }
+                Ok(n) => {
+                    conn.written += n;
+                    did = true;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    conn.eof = true;
+                    conn.queue.clear();
+                    conn.written = conn.outbuf.len();
+                    break;
+                }
+            }
+        }
+        if conn.written == conn.outbuf.len() && !conn.outbuf.is_empty() {
+            conn.outbuf.clear();
+            conn.written = 0;
+            let _ = conn.stream.flush();
+        }
+        did
+    }
+}
+
+/// Pooled accept loop: `workers` handler threads (see
+/// [`PoolConfig::resolved_workers`]) each multiplex a share of the
+/// accepted connections; the calling thread accepts and deals
+/// connections round-robin. With `accept_limit = Some(n)`, returns after
+/// `n` connections have been accepted *and served to completion* —
+/// the same contract as [`crate::net::serve_listener`]; `None` loops
+/// forever.
+pub fn serve_pooled(
+    server: &SketchServer,
+    listener: &TcpListener,
+    config: &PoolConfig,
+    accept_limit: Option<usize>,
+) -> io::Result<()> {
+    let workers = config.resolved_workers();
+    let inboxes: Vec<Mutex<Vec<TcpStream>>> =
+        (0..workers).map(|_| Mutex::new(Vec::new())).collect();
+    let accepting = AtomicBool::new(true);
+    let mut accept_result = Ok(());
+    std::thread::scope(|scope| {
+        for inbox in &inboxes {
+            let accepting = &accepting;
+            let idle = config.idle_sleep;
+            scope.spawn(move || {
+                let mut worker = PoolWorker::new(server, config);
+                loop {
+                    {
+                        let mut inbox = inbox.lock().expect("pool inbox poisoned");
+                        for stream in inbox.drain(..) {
+                            worker.push(stream);
+                        }
+                    }
+                    let did = worker.pass();
+                    if worker.is_empty() && !accepting.load(Ordering::Acquire) {
+                        let drained = inbox.lock().expect("pool inbox poisoned").is_empty();
+                        if drained {
+                            break;
+                        }
+                    }
+                    if !did {
+                        std::thread::sleep(idle);
+                    }
+                }
+            });
+        }
+        let mut accepted = 0usize;
+        loop {
+            if let Some(limit) = accept_limit {
+                if accepted >= limit {
+                    break;
+                }
+            }
+            let (stream, _peer) = match listener.accept() {
+                Ok(pair) => pair,
+                Err(e) => {
+                    accept_result = Err(e);
+                    break;
+                }
+            };
+            // Nagle would hold small response frames hostage to the next
+            // read; every frame here is latency-sensitive.
+            let _ = stream.set_nodelay(true);
+            if let Err(e) = stream.set_nonblocking(true) {
+                accept_result = Err(e);
+                break;
+            }
+            inboxes[accepted % workers].lock().expect("pool inbox poisoned").push(stream);
+            accepted += 1;
+        }
+        accepting.store(false, Ordering::Release);
+    });
+    accept_result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::ServeError;
+    use crate::server::ServeConfig;
+    use ifs_core::{FrequencyEstimator, ReleaseDb, Snapshot};
+    use ifs_database::Database;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    /// A deterministic in-memory stream: `read` delivers the scripted
+    /// chunks in order, one per call, with `None` entries yielding
+    /// `WouldBlock` and the exhausted script yielding EOF (peer close) —
+    /// so a test controls exactly how many bytes arrive per worker pass.
+    /// Writes append to a shared buffer the test inspects.
+    struct ScriptStream {
+        script: VecDeque<Option<Vec<u8>>>,
+        written: Rc<RefCell<Vec<u8>>>,
+    }
+
+    impl ScriptStream {
+        fn new(script: Vec<Option<Vec<u8>>>) -> (Self, Rc<RefCell<Vec<u8>>>) {
+            let written = Rc::new(RefCell::new(Vec::new()));
+            (Self { script: script.into(), written: Rc::clone(&written) }, written)
+        }
+
+        /// A script delivering `bytes` whole, then dribbling nothing.
+        fn whole(bytes: Vec<u8>) -> Vec<Option<Vec<u8>>> {
+            vec![Some(bytes)]
+        }
+
+        /// A slowloris script: one byte per worker pass.
+        fn dribble(bytes: &[u8]) -> Vec<Option<Vec<u8>>> {
+            let mut script = Vec::new();
+            for &b in bytes {
+                script.push(Some(vec![b]));
+                script.push(None);
+            }
+            script
+        }
+    }
+
+    impl Read for ScriptStream {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            match self.script.pop_front() {
+                Some(Some(chunk)) => {
+                    assert!(chunk.len() <= buf.len(), "script chunk fits the read buffer");
+                    buf[..chunk.len()].copy_from_slice(&chunk);
+                    Ok(chunk.len())
+                }
+                Some(None) => Err(io::Error::from(io::ErrorKind::WouldBlock)),
+                None => Ok(0),
+            }
+        }
+    }
+
+    impl Write for ScriptStream {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.written.borrow_mut().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn decode_responses(wire: &[u8]) -> Vec<Response> {
+        let mut out = Vec::new();
+        let mut at = 0;
+        while at < wire.len() {
+            let len = frame_boundary(&wire[at..]).expect("well-formed").expect("complete");
+            out.push(Response::from_bytes(&wire[at..at + len]).expect("decodes"));
+            at += len;
+        }
+        out
+    }
+
+    fn demo() -> (ReleaseDb, Vec<u8>) {
+        let db = Database::from_rows(5, &[vec![0, 1], vec![0], vec![1, 2], vec![0, 1, 4], vec![3]]);
+        let sketch = ReleaseDb::build(&db, 0.3);
+        let bytes = sketch.snapshot_bytes();
+        (sketch, bytes)
+    }
+
+    fn query(id: u64, queries: Vec<Itemset>) -> Vec<u8> {
+        Request::Query { id, mode: QueryMode::Estimate, queries }.to_bytes()
+    }
+
+    fn run_until_drained<S: Read + Write>(worker: &mut PoolWorker<'_, S>) {
+        // Every pass makes progress on a scripted stream; cap the loop so
+        // a livelock fails the test instead of hanging it.
+        for _ in 0..10_000 {
+            worker.pass();
+            if worker.is_empty() {
+                return;
+            }
+        }
+        panic!("worker did not drain its scripted connections");
+    }
+
+    /// A byte-dribbling connection must not stall a whole connection on
+    /// the same worker: the fast peer's response is written while the
+    /// slow peer's frame is still arriving, and the slow peer still gets
+    /// the right answer in the end.
+    #[test]
+    fn slowloris_does_not_stall_the_worker() {
+        let (offline, frame) = demo();
+        let server = SketchServer::new(ServeConfig::default());
+        server.load_frame(1, 1, &frame).expect("admit");
+        let queries = vec![Itemset::empty(), Itemset::new(vec![0, 1])];
+        let expected = Response::Estimates(offline.estimate_batch(&queries));
+
+        let mut worker = PoolWorker::new(&server, &PoolConfig::default());
+        let (slow, slow_out) = ScriptStream::new(ScriptStream::dribble(&query(1, queries.clone())));
+        let (fast, fast_out) = ScriptStream::new(ScriptStream::whole(query(1, queries.clone())));
+        worker.push(slow);
+        worker.push(fast);
+
+        // One pass: the fast connection is fully answered; the slow one
+        // has delivered exactly one byte.
+        worker.pass();
+        assert_eq!(decode_responses(&fast_out.borrow()), vec![expected.clone()]);
+        assert!(slow_out.borrow().is_empty());
+
+        run_until_drained(&mut worker);
+        assert_eq!(decode_responses(&slow_out.borrow()), vec![expected]);
+    }
+
+    /// Queries arriving across connections in the same pass aggregate
+    /// into ONE engine dispatch (`served_batches` counts dispatches),
+    /// and every connection still receives exactly its own answers.
+    #[test]
+    fn cross_connection_queries_aggregate_into_one_dispatch() {
+        let (offline, frame) = demo();
+        let server = SketchServer::new(ServeConfig::default());
+        server.load_frame(1, 1, &frame).expect("admit");
+        let qa = vec![Itemset::empty(), Itemset::singleton(0)];
+        let qb = vec![Itemset::new(vec![0, 1])];
+
+        let mut worker = PoolWorker::new(&server, &PoolConfig::default());
+        let (a, a_out) = ScriptStream::new(ScriptStream::whole(query(1, qa.clone())));
+        let (b, b_out) = ScriptStream::new(ScriptStream::whole(query(1, qb.clone())));
+        worker.push(a);
+        worker.push(b);
+        worker.pass();
+
+        assert_eq!(server.stats().served_batches, 1, "two requests, one aggregated dispatch");
+        assert_eq!(
+            decode_responses(&a_out.borrow()),
+            vec![Response::Estimates(offline.estimate_batch(&qa))]
+        );
+        assert_eq!(
+            decode_responses(&b_out.borrow()),
+            vec![Response::Estimates(offline.estimate_batch(&qb))]
+        );
+    }
+
+    /// A pipelined `[Query, Load(reload), Query]` answers in order, with
+    /// the Load acting as a barrier: the first query answers the old
+    /// snapshot, the second answers the reloaded one.
+    #[test]
+    fn loads_are_ordering_barriers_within_a_pipeline() {
+        let (old_offline, old_frame) = demo();
+        let new_db = Database::from_rows(5, &[vec![2], vec![2, 3], vec![3], vec![4], vec![2, 4]]);
+        let new_offline = ReleaseDb::build(&new_db, 0.3);
+        let new_frame = new_offline.snapshot_bytes();
+        let queries = vec![Itemset::empty(), Itemset::singleton(2), Itemset::new(vec![2, 3])];
+
+        let server = SketchServer::new(ServeConfig::default());
+        server.load_frame(1, 1, &old_frame).expect("admit");
+
+        let mut wire = query(1, queries.clone());
+        wire.extend_from_slice(
+            &Request::Load { id: 1, threads: 1, frame: new_frame.clone() }.to_bytes(),
+        );
+        wire.extend_from_slice(&query(1, queries.clone()));
+
+        let mut worker = PoolWorker::new(&server, &PoolConfig::default());
+        let (conn, out) = ScriptStream::new(ScriptStream::whole(wire));
+        worker.push(conn);
+        run_until_drained(&mut worker);
+
+        let responses = decode_responses(&out.borrow());
+        assert_eq!(responses.len(), 3);
+        assert_eq!(responses[0], Response::Estimates(old_offline.estimate_batch(&queries)));
+        assert!(
+            matches!(&responses[1], Response::Reloaded { id: 1, generation: 2, .. }),
+            "{:?}",
+            responses[1]
+        );
+        assert_eq!(responses[2], Response::Estimates(new_offline.estimate_batch(&queries)));
+    }
+
+    /// Mid-pipeline garbage: requests before the garbage are answered,
+    /// one typed framing error follows, and only that connection closes —
+    /// a healthy connection on the same worker is unaffected.
+    #[test]
+    fn garbage_closes_only_the_offending_connection() {
+        let (offline, frame) = demo();
+        let server = SketchServer::new(ServeConfig::default());
+        server.load_frame(1, 1, &frame).expect("admit");
+        let queries = vec![Itemset::empty()];
+        let expected = Response::Estimates(offline.estimate_batch(&queries));
+
+        let mut bad_wire = query(1, queries.clone());
+        bad_wire.extend_from_slice(b"!!!! this is not a frame");
+        let mut worker = PoolWorker::new(&server, &PoolConfig::default());
+        let (bad, bad_out) = ScriptStream::new(ScriptStream::whole(bad_wire));
+        let (good, good_out) = ScriptStream::new(ScriptStream::whole(query(1, queries.clone())));
+        worker.push(bad);
+        worker.push(good);
+        worker.pass();
+
+        let bad_responses = decode_responses(&bad_out.borrow());
+        assert_eq!(bad_responses.len(), 2);
+        assert_eq!(bad_responses[0], expected);
+        assert!(
+            matches!(&bad_responses[1], Response::Error(ServeError::Decode(_))),
+            "{:?}",
+            bad_responses[1]
+        );
+        assert_eq!(decode_responses(&good_out.borrow()), vec![expected.clone()]);
+        // The offending connection is gone after one pass; the healthy
+        // one lingers (its script has not reached EOF yet).
+        assert_eq!(worker.len(), 1);
+    }
+
+    /// In-frame corruption (checksum flip) refuses that one request with
+    /// a typed error and keeps the connection open for the next frame.
+    #[test]
+    fn checksum_corruption_is_recoverable_in_a_pipeline() {
+        let (offline, frame) = demo();
+        let server = SketchServer::new(ServeConfig::default());
+        server.load_frame(1, 1, &frame).expect("admit");
+        let queries = vec![Itemset::empty()];
+
+        let mut corrupt = query(1, queries.clone());
+        let last = corrupt.len() - 1;
+        corrupt[last] ^= 0xFF;
+        let mut wire = corrupt;
+        wire.extend_from_slice(&query(1, queries.clone()));
+
+        let mut worker = PoolWorker::new(&server, &PoolConfig::default());
+        let (conn, out) = ScriptStream::new(ScriptStream::whole(wire));
+        worker.push(conn);
+        worker.pass();
+
+        let responses = decode_responses(&out.borrow());
+        assert_eq!(responses.len(), 2);
+        assert!(matches!(&responses[0], Response::Error(ServeError::Decode(_))));
+        assert_eq!(responses[1], Response::Estimates(offline.estimate_batch(&queries)));
+        assert_eq!(worker.len(), 1, "the connection stays open");
+    }
+
+    /// Saturation under the pool: with every in-flight slot held, queries
+    /// refuse with `Overloaded`; when slots free, the same connection's
+    /// next queries succeed — backpressure saturates and recovers.
+    #[test]
+    fn overload_refuses_then_recovers_under_the_pool() {
+        let (offline, frame) = demo();
+        let server = SketchServer::new(ServeConfig { max_in_flight: 1, ..ServeConfig::default() });
+        server.load_frame(1, 1, &frame).expect("admit");
+        let queries = vec![Itemset::empty()];
+
+        let mut worker = PoolWorker::new(&server, &PoolConfig::default());
+        let (conn, out) = ScriptStream::new(vec![
+            Some(query(1, queries.clone())),
+            None,
+            Some(query(1, queries.clone())),
+        ]);
+        worker.push(conn);
+
+        let held = server.try_begin_batch().expect("take the only slot");
+        worker.pass();
+        assert!(
+            matches!(
+                decode_responses(&out.borrow()).as_slice(),
+                [Response::Error(ServeError::Overloaded { .. })]
+            ),
+            "saturated pool refuses"
+        );
+        drop(held);
+        run_until_drained_or(&mut worker, &out, 2);
+        let responses = decode_responses(&out.borrow());
+        assert_eq!(responses[1], Response::Estimates(offline.estimate_batch(&queries)));
+    }
+
+    fn run_until_drained_or(
+        worker: &mut PoolWorker<'_, ScriptStream>,
+        out: &Rc<RefCell<Vec<u8>>>,
+        responses: usize,
+    ) {
+        for _ in 0..10_000 {
+            worker.pass();
+            if decode_responses(&out.borrow()).len() >= responses {
+                return;
+            }
+        }
+        panic!("worker never produced {responses} responses");
+    }
+}

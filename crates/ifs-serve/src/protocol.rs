@@ -29,9 +29,18 @@
 //!                   evicted count varint · evicted ids varints
 //! ESTIMATES   u8=2  count varint · count f64 bit patterns
 //! INDICATORS  u8=3  count varint · packed bitset (⌈count/8⌉ bytes)
-//! STATS       u8=4  eight varint counters (see [`ServerStats`])
+//! STATS       u8=4  nine varint counters (see [`ServerStats`])
 //! ERROR       u8=5  a [`ServeError`], losslessly (see `error.rs`)
+//! RELOADED    u8=6  id varint · kind varint · size_bits varint ·
+//!                   generation varint · previous_kind varint ·
+//!                   evicted count varint · evicted ids varints
 //! ```
+//!
+//! `RELOADED` is the hot-reload half of the `Load` surface: admitting a
+//! frame under an id that is *already* admitted answers `Reloaded` instead
+//! of `Loaded`, carrying the bumped generation and the kind the id served
+//! before — the typed signal a client needs to detect version skew across
+//! a fleet of replicas (DESIGN.md §13).
 
 use crate::error::ServeError;
 use ifs_database::codec::{self, decode_frame, encode_frame_into, DecodeError, Reader, Writer};
@@ -59,6 +68,7 @@ const RESP_ESTIMATES: u8 = 2;
 const RESP_INDICATORS: u8 = 3;
 const RESP_STATS: u8 = 4;
 const RESP_ERROR: u8 = 5;
+const RESP_RELOADED: u8 = 6;
 
 /// Which query procedure a batch runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -138,10 +148,15 @@ pub struct ServerStats {
     pub in_flight: u64,
     /// The configured in-flight bound.
     pub max_in_flight: u64,
-    /// Query batches answered since startup (refusals excluded).
+    /// Query batch dispatches answered since startup (refusals excluded;
+    /// a micro-batched dispatch aggregating several connections' requests
+    /// counts once — see `pool.rs`).
     pub served_batches: u64,
     /// Hot-set evictions since startup.
     pub evictions: u64,
+    /// Hot reloads since startup: frames admitted under an id that was
+    /// already admitted, bumping its generation.
+    pub reloads: u64,
 }
 
 /// A server → client message.
@@ -156,6 +171,27 @@ pub enum Response {
         /// Measured size of the frame, in bits — what the sketch charges
         /// against the hot-set budget.
         size_bits: u64,
+        /// Ids evicted from the hot set to make room, oldest first.
+        evicted: Vec<u64>,
+    },
+    /// The frame was admitted under an id that was already serving — the
+    /// hot-reload path. Batches in flight when this response was produced
+    /// drain against the previous sketch (they hold its `Arc`); every
+    /// later query answers from the new frame.
+    Reloaded {
+        /// Id the new sketch is now admitted under.
+        id: u64,
+        /// Kind tag the new frame carried.
+        kind: u16,
+        /// Measured size of the new frame, in bits.
+        size_bits: u64,
+        /// Admission generation of this id, starting at 1 for the first
+        /// `Load` and incremented by every reload.
+        generation: u64,
+        /// Kind tag the id served before this reload — a client comparing
+        /// this against `kind` detects a sketch-type skew typed, without
+        /// re-querying.
+        previous_kind: u16,
         /// Ids evicted from the hot set to make room, oldest first.
         evicted: Vec<u64>,
     },
@@ -246,6 +282,18 @@ fn encode_response_body(resp: &Response, w: &mut Writer) {
             }
             codec::write_bitset(w, &words, v.len());
         }
+        Response::Reloaded { id, kind, size_bits, generation, previous_kind, evicted } => {
+            w.u8(RESP_RELOADED);
+            w.varint(*id);
+            w.varint(u64::from(*kind));
+            w.varint(*size_bits);
+            w.varint(*generation);
+            w.varint(u64::from(*previous_kind));
+            w.varint(evicted.len() as u64);
+            for e in evicted {
+                w.varint(*e);
+            }
+        }
         Response::Stats(s) => {
             w.u8(RESP_STATS);
             for c in [
@@ -257,6 +305,7 @@ fn encode_response_body(resp: &Response, w: &mut Writer) {
                 s.max_in_flight,
                 s.served_batches,
                 s.evictions,
+                s.reloads,
             ] {
                 w.varint(c);
             }
@@ -294,8 +343,21 @@ fn decode_response_body(r: &mut Reader) -> Result<Response, DecodeError> {
             let words = codec::read_bitset(r, count)?;
             Ok(Response::Indicators((0..count).map(|i| bits::get(&words, i)).collect()))
         }
+        RESP_RELOADED => {
+            let id = r.varint()?;
+            let kind = u16::try_from(r.varint()?)
+                .map_err(|_| DecodeError::Corrupt("kind tag exceeds u16".into()))?;
+            let size_bits = r.varint()?;
+            let generation = r.varint()?;
+            let previous_kind = u16::try_from(r.varint()?)
+                .map_err(|_| DecodeError::Corrupt("previous kind tag exceeds u16".into()))?;
+            let count = r.varint_usize()?;
+            r.require(count)?;
+            let evicted = (0..count).map(|_| r.varint()).collect::<Result<Vec<_>, _>>()?;
+            Ok(Response::Reloaded { id, kind, size_bits, generation, previous_kind, evicted })
+        }
         RESP_STATS => {
-            let mut c = [0u64; 8];
+            let mut c = [0u64; 9];
             for slot in &mut c {
                 *slot = r.varint()?;
             }
@@ -308,6 +370,7 @@ fn decode_response_body(r: &mut Reader) -> Result<Response, DecodeError> {
                 max_in_flight: c[5],
                 served_batches: c[6],
                 evictions: c[7],
+                reloads: c[8],
             }))
         }
         RESP_ERROR => Ok(Response::Error(ServeError::decode(r)?)),
@@ -434,6 +497,22 @@ mod tests {
     fn responses_roundtrip_and_refuse_truncation() {
         for resp in [
             Response::Loaded { id: 1, kind: 2, size_bits: 1024, evicted: vec![7, 8] },
+            Response::Reloaded {
+                id: 1,
+                kind: 2,
+                size_bits: 2048,
+                generation: 3,
+                previous_kind: 1,
+                evicted: vec![9],
+            },
+            Response::Reloaded {
+                id: 0,
+                kind: 4,
+                size_bits: 8,
+                generation: u64::MAX,
+                previous_kind: 4,
+                evicted: vec![],
+            },
             Response::Estimates(vec![0.0, 0.5, f64::from_bits(0x7FF8_0000_0000_0001)]),
             Response::Indicators(vec![true, false, true, true, false, false, true, false, true]),
             Response::Indicators(vec![]),
@@ -446,6 +525,7 @@ mod tests {
                 max_in_flight: 64,
                 served_batches: 17,
                 evictions: 2,
+                reloads: 5,
             }),
             Response::Error(ServeError::UnknownSketch { id: 5 }),
         ] {

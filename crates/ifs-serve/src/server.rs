@@ -53,12 +53,37 @@ struct AdmittedFrame {
     bytes: Vec<u8>,
     threads: usize,
     size_bits: u64,
+    kind: u16,
+    /// How many times this id has been (re-)admitted; 1 on first load.
+    generation: u64,
 }
 
 struct ServeState {
     admitted: std::collections::BTreeMap<u64, AdmittedFrame>,
     hot: HotSet,
     served_batches: u64,
+    reloads: u64,
+}
+
+/// What a successful [`SketchServer::load_frame`] did: the admitted
+/// sketch's identity plus the hot-reload bookkeeping the response surface
+/// reports. `generation` counts admissions of the id (1 on first load);
+/// `previous_kind` is `Some` exactly when this load *replaced* a live id —
+/// the hot-reload case, answered on the wire as [`Response::Reloaded`]
+/// instead of [`Response::Loaded`] so a client that believed it knew the
+/// sketch under that id learns its knowledge is stale.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoadOutcome {
+    /// Snapshot kind tag of the newly admitted sketch.
+    pub kind: u16,
+    /// Measured size of the admitted frame, in bits.
+    pub size_bits: u64,
+    /// Admission count for this id: 1 for a first load, ≥ 2 for a reload.
+    pub generation: u64,
+    /// Kind tag of the sketch this load replaced, if the id was live.
+    pub previous_kind: Option<u16>,
+    /// Ids whose decoded forms were evicted to fit the new entry.
+    pub evicted: Vec<u64>,
 }
 
 /// A long-running sketch-serving process: loads versioned snapshot frames,
@@ -92,6 +117,7 @@ impl SketchServer {
                 admitted: std::collections::BTreeMap::new(),
                 hot: HotSet::new(budget),
                 served_batches: 0,
+                reloads: 0,
             }),
             in_flight: AtomicUsize::new(0),
         }
@@ -130,13 +156,20 @@ impl SketchServer {
 
     /// Admits a snapshot frame under `id`, validating it end to end
     /// (framing, checksum, body, servable kind) and warming the hot set
-    /// with the decoded sketch. Returns `(kind, size_bits, evicted ids)`.
+    /// with the decoded sketch.
+    ///
+    /// Re-admitting a live id is **hot-reload**: the new entry replaces
+    /// the old atomically under the state lock, while any in-flight batch
+    /// keeps its [`Arc`] to the old decoded form and completes against it
+    /// — no request ever observes a torn state, because every dispatch
+    /// resolves its sketch exactly once. The returned [`LoadOutcome`]
+    /// reports the bump in `generation` and the `previous_kind`.
     pub fn load_frame(
         &self,
         id: u64,
         threads: usize,
         frame: &[u8],
-    ) -> Result<(u16, u64, Vec<u64>), ServeError> {
+    ) -> Result<LoadOutcome, ServeError> {
         let size_bits = frame.len() as u64 * 8;
         if size_bits > self.config.budget_bits {
             return Err(ServeError::FrameOverBudget {
@@ -154,13 +187,38 @@ impl SketchServer {
         let sketch = ServedSketch::admit(frame, threads)?;
         let kind = sketch.kind();
         let mut state = self.state.lock().expect("server state poisoned");
-        state.admitted.insert(id, AdmittedFrame { bytes: frame.to_vec(), threads, size_bits });
+        let previous = state.admitted.get(&id);
+        let previous_kind = previous.map(|p| p.kind);
+        let generation = previous.map_or(1, |p| p.generation + 1);
+        if previous_kind.is_some() {
+            state.reloads += 1;
+        }
+        state.admitted.insert(
+            id,
+            AdmittedFrame { bytes: frame.to_vec(), threads, size_bits, kind, generation },
+        );
         let evicted = state.hot.insert(id, Arc::new(sketch), size_bits);
-        Ok((kind, size_bits, evicted))
+        Ok(LoadOutcome { kind, size_bits, generation, previous_kind, evicted })
     }
 
     /// The decoded sketch at `id`, reloading it from the admitted frame
-    /// bytes (and evicting as needed) if it is not hot.
+    /// bytes (and evicting as needed) if it is not hot. This is the one
+    /// place a dispatch resolves id → sketch; the pooled path calls it
+    /// once per aggregated micro-batch so every request in the batch
+    /// answers against the same snapshot generation.
+    pub fn sketch(&self, id: u64) -> Result<Arc<ServedSketch>, ServeError> {
+        self.hot_or_reload(id)
+    }
+
+    /// Counts one served dispatch. [`query`](Self::query) calls this
+    /// internally; the pooled path, which executes batches on the [`Arc`]
+    /// from [`sketch`](Self::sketch) directly, calls it once per
+    /// aggregated dispatch — so `served_batches` counts *dispatches on
+    /// the engine*, not client-visible query responses.
+    pub fn record_dispatch(&self) {
+        self.state.lock().expect("server state poisoned").served_batches += 1;
+    }
+
     fn hot_or_reload(&self, id: u64) -> Result<Arc<ServedSketch>, ServeError> {
         let mut state = self.state.lock().expect("server state poisoned");
         if let Some(sketch) = state.hot.get(id) {
@@ -186,7 +244,7 @@ impl SketchServer {
     ) -> Result<Answers, ServeError> {
         let sketch = self.hot_or_reload(id)?;
         let answers = sketch.answer(mode, queries)?;
-        self.state.lock().expect("server state poisoned").served_batches += 1;
+        self.record_dispatch();
         Ok(answers)
     }
 
@@ -202,6 +260,7 @@ impl SketchServer {
             max_in_flight: self.config.max_in_flight as u64,
             served_batches: state.served_batches,
             evictions: state.hot.evictions(),
+            reloads: state.reloads,
         }
     }
 
@@ -230,7 +289,21 @@ impl SketchServer {
             Err(e) => Response::Error(ServeError::Decode(e)),
             Ok(Request::Load { id, threads, frame }) => {
                 match self.load_frame(id, threads, &frame) {
-                    Ok((kind, size_bits, evicted)) => {
+                    Ok(LoadOutcome {
+                        kind,
+                        size_bits,
+                        generation,
+                        previous_kind: Some(previous_kind),
+                        evicted,
+                    }) => Response::Reloaded {
+                        id,
+                        kind,
+                        size_bits,
+                        generation,
+                        previous_kind,
+                        evicted,
+                    },
+                    Ok(LoadOutcome { kind, size_bits, evicted, .. }) => {
                         Response::Loaded { id, kind, size_bits, evicted }
                     }
                     Err(e) => Response::Error(e),
@@ -267,15 +340,53 @@ mod tests {
     fn load_then_query_matches_offline_answers() {
         let (offline, frame) = demo();
         let server = SketchServer::new(ServeConfig::default());
-        let (kind, size_bits, evicted) = server.load_frame(7, 2, &frame).expect("admit");
-        assert_eq!(kind, ifs_core::snapshot::KIND_RELEASE_DB);
-        assert_eq!(size_bits, frame.len() as u64 * 8);
-        assert!(evicted.is_empty());
+        let out = server.load_frame(7, 2, &frame).expect("admit");
+        assert_eq!(out.kind, ifs_core::snapshot::KIND_RELEASE_DB);
+        assert_eq!(out.size_bits, frame.len() as u64 * 8);
+        assert_eq!(out.generation, 1);
+        assert_eq!(out.previous_kind, None);
+        assert!(out.evicted.is_empty());
         let queries = vec![Itemset::empty(), Itemset::singleton(0), Itemset::new(vec![0, 1])];
         let slot = server.try_begin_batch().expect("idle server has slots");
         let answers = server.query(&slot, 7, QueryMode::Estimate, &queries).expect("served");
         assert_eq!(answers, Answers::Estimates(offline.estimate_batch(&queries)));
         assert_eq!(server.stats().served_batches, 1);
+    }
+
+    /// Hot-reload at the server level: re-admitting a live id bumps the
+    /// generation and names the replaced kind, a dispatch that resolved
+    /// its `Arc` before the reload drains against the *old* decoded form,
+    /// and dispatches after the reload answer the new one — never a blend.
+    #[test]
+    fn reload_bumps_generation_and_drains_in_flight_on_old_arc() {
+        let (old_offline, old_frame) = demo();
+        let new_db =
+            Database::from_rows(5, &[vec![2, 3], vec![2], vec![3], vec![2, 3, 4], vec![4]]);
+        let new_offline = ReleaseDb::build(&new_db, 0.3);
+        let new_frame = new_offline.snapshot_bytes();
+
+        let server = SketchServer::new(ServeConfig::default());
+        assert_eq!(server.load_frame(7, 1, &old_frame).expect("first load").generation, 1);
+        // An in-flight batch resolves its sketch once, before the reload.
+        let in_flight = server.sketch(7).expect("admitted id resolves");
+
+        let out = server.load_frame(7, 1, &new_frame).expect("reload");
+        assert_eq!(out.generation, 2);
+        assert_eq!(out.previous_kind, Some(ifs_core::snapshot::KIND_RELEASE_DB));
+        assert_eq!(server.stats().reloads, 1);
+
+        let queries = vec![Itemset::empty(), Itemset::singleton(2), Itemset::new(vec![2, 3])];
+        // The drained batch answers the old snapshot, bit-identically.
+        assert_eq!(
+            in_flight.answer(QueryMode::Estimate, &queries).expect("old arc answers"),
+            Answers::Estimates(old_offline.estimate_batch(&queries))
+        );
+        // A fresh dispatch answers the new one.
+        let slot = server.try_begin_batch().unwrap();
+        assert_eq!(
+            server.query(&slot, 7, QueryMode::Estimate, &queries).expect("served"),
+            Answers::Estimates(new_offline.estimate_batch(&queries))
+        );
     }
 
     #[test]
@@ -335,7 +446,12 @@ mod tests {
     #[test]
     fn handle_into_reusing_one_buffer_matches_handle() {
         let (_, frame) = demo();
-        let server = SketchServer::new(ServeConfig::default());
+        // Two identical servers, fed the same request sequence: one
+        // through the reusable buffer, one through the allocating path.
+        // (One server would see the second Load of each pair as a
+        // reload and answer a different generation.)
+        let reusing = SketchServer::new(ServeConfig::default());
+        let allocating = SketchServer::new(ServeConfig::default());
         let mut buf = EncodeBuf::new();
         // One buffer across loads, queries of both modes, stats, and
         // refusals — every response must equal the allocating path's bytes
@@ -352,8 +468,8 @@ mod tests {
         ];
         for req in &requests {
             let bytes = req.to_bytes();
-            assert_eq!(server.handle_into(&bytes, &mut buf), server.handle(&bytes), "{req:?}");
+            assert_eq!(reusing.handle_into(&bytes, &mut buf), allocating.handle(&bytes), "{req:?}");
         }
-        assert_eq!(server.handle_into(b"garbage", &mut buf), server.handle(b"garbage"));
+        assert_eq!(reusing.handle_into(b"garbage", &mut buf), allocating.handle(b"garbage"));
     }
 }

@@ -148,9 +148,23 @@ impl ServedSketch {
         }
     }
 
+    /// True iff this sketch's contract can answer `mode` queries at all
+    /// (the mode half of [`answer`](Self::answer)'s refusal surface,
+    /// checkable without a batch — the pool's micro-batcher pre-screens
+    /// requests with it before aggregating across connections).
+    pub fn supports(&self, mode: QueryMode) -> bool {
+        match mode {
+            QueryMode::Estimate => !matches!(self, ServedSketch::AnswersIndicator(_)),
+            QueryMode::Indicator => !matches!(self, ServedSketch::AnswersEstimator(_)),
+        }
+    }
+
     /// Refuses any query outside this sketch's contract — the checks the
-    /// offline paths perform with `assert!`, as typed errors.
-    fn validate(&self, queries: &[Itemset]) -> Result<(), ServeError> {
+    /// offline paths perform with `assert!`, as typed errors. Public so
+    /// the micro-batcher can validate each connection's request *before*
+    /// aggregation: a bad query then refuses only its own request, never
+    /// a batch another connection contributed to.
+    pub fn validate(&self, queries: &[Itemset]) -> Result<(), ServeError> {
         let dims = self.dims();
         let required = self.required_len();
         for (i, q) in queries.iter().enumerate() {

@@ -24,14 +24,16 @@ pub fn clamp_threads(threads: usize) -> usize {
     threads.clamp(1, MAX_THREADS)
 }
 
-/// An `IFS_THREADS` value that did not parse as a thread count.
+/// A worker-count environment value that did not parse as an integer.
 ///
-/// Carries the offending value so a boundary that refuses to start (a
-/// long-running server, say) can name exactly what was malformed; the
-/// [`Display`](std::fmt::Display) text is the same sentence
-/// [`parse_threads`] panics with.
+/// Carries the variable name and the offending value so a boundary that
+/// refuses to start (a long-running server, say) can name exactly what
+/// was malformed; the [`Display`](std::fmt::Display) text is the same
+/// sentence [`parse_threads`] panics with.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ThreadsParseError {
+    /// The environment variable that carried the value.
+    pub var: String,
     /// The malformed value, verbatim.
     pub value: String,
 }
@@ -40,14 +42,26 @@ impl std::fmt::Display for ThreadsParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "IFS_THREADS must be an integer in 0..={MAX_THREADS} (0 means serial), \
+            "{} must be an integer in 0..={MAX_THREADS} (0 means serial), \
              got {:?} — unset it to default to 1 thread",
-            self.value
+            self.var, self.value
         )
     }
 }
 
 impl std::error::Error for ThreadsParseError {}
+
+/// [`try_parse_threads`] for an arbitrarily named worker-count variable:
+/// the same integer-parse-and-clamp, with the refusal naming `var`
+/// instead of `IFS_THREADS`. The serving tier's `IFS_SERVE_WORKERS` knob
+/// parses through here so every worker-count variable refuses with the
+/// same sentence shape.
+pub fn try_parse_threads_var(var: &str, value: &str) -> Result<usize, ThreadsParseError> {
+    match value.trim().parse::<usize>() {
+        Ok(n) => Ok(clamp_threads(n)),
+        Err(_) => Err(ThreadsParseError { var: var.to_owned(), value: value.to_owned() }),
+    }
+}
 
 /// Parses an `IFS_THREADS` value, clamping it like [`clamp_threads`] —
 /// the non-panicking form for process boundaries.
@@ -57,9 +71,17 @@ impl std::error::Error for ThreadsParseError {}
 /// to *start* with a typed error and keep its ability to report it over
 /// its own channels. Both behaviors share this parse.
 pub fn try_parse_threads(value: &str) -> Result<usize, ThreadsParseError> {
-    match value.trim().parse::<usize>() {
-        Ok(n) => Ok(clamp_threads(n)),
-        Err(_) => Err(ThreadsParseError { value: value.to_owned() }),
+    try_parse_threads_var("IFS_THREADS", value)
+}
+
+/// Reads and parses an arbitrarily named worker-count environment
+/// variable: `Ok(None)` when unset (the caller picks its own default),
+/// `Ok(Some(clamped))` when well-formed, and a typed
+/// [`ThreadsParseError`] naming the variable when set but malformed.
+pub fn try_env_threads_var(var: &str) -> Result<Option<usize>, ThreadsParseError> {
+    match std::env::var(var) {
+        Ok(v) => try_parse_threads_var(var, &v).map(Some),
+        Err(_) => Ok(None),
     }
 }
 
@@ -82,10 +104,7 @@ pub fn parse_threads(value: &str) -> usize {
 /// [`ThreadsParseError`] when set but malformed — the startup check for
 /// processes that must not die on a bad env var (see [`try_parse_threads`]).
 pub fn try_env_threads() -> Result<usize, ThreadsParseError> {
-    match std::env::var("IFS_THREADS") {
-        Ok(v) => try_parse_threads(&v),
-        Err(_) => Ok(1),
-    }
+    Ok(try_env_threads_var("IFS_THREADS")?.unwrap_or(1))
 }
 
 /// The thread count requested via the `IFS_THREADS` environment variable,
@@ -201,6 +220,30 @@ mod tests {
         let msg = err.to_string();
         assert!(msg.contains("0..=256"), "{msg}");
         assert!(msg.contains("\"soup\""), "{msg}");
+    }
+
+    /// The named-variable form refuses with the caller's variable name,
+    /// so a malformed `IFS_SERVE_WORKERS` is diagnosable without grepping
+    /// for which knob produced the sentence.
+    #[test]
+    fn named_var_parse_names_the_variable() {
+        assert_eq!(try_parse_threads_var("IFS_SERVE_WORKERS", "8"), Ok(8));
+        assert_eq!(try_parse_threads_var("IFS_SERVE_WORKERS", "0"), Ok(1));
+        let err = try_parse_threads_var("IFS_SERVE_WORKERS", "many").expect_err("malformed");
+        assert_eq!(err.var, "IFS_SERVE_WORKERS");
+        assert_eq!(err.value, "many");
+        let msg = err.to_string();
+        assert!(msg.contains("IFS_SERVE_WORKERS"), "{msg}");
+        assert!(msg.contains("\"many\""), "{msg}");
+    }
+
+    #[test]
+    fn named_env_var_is_none_when_unset() {
+        assert_eq!(
+            try_env_threads_var("IFS_THREADS_SURELY_UNSET_IN_ANY_HARNESS"),
+            Ok(None),
+            "an unset variable must let the caller pick its own default"
+        );
     }
 
     #[test]

@@ -1,0 +1,84 @@
+//! The committed bench artifacts obey the release-only trajectory rule.
+//!
+//! PR 6 established that perf numbers in the tree must come from release
+//! builds — debug numbers misstate every trajectory claim the README and
+//! DESIGN.md make. CI regenerates the JSONs in release mode, but that
+//! gate only covered freshly emitted files; this tier-1 suite covers the
+//! **repo contents**: every committed `bench_results/BENCH_*.json` must
+//! say `"mode": "release"`, and the serving artifact must record the
+//! connection shape (`connections`/`pipeline_depth`) so the perf
+//! trajectory distinguishes single-connection from pooled runs.
+//!
+//! The checks run against the files as committed (the suite runs before
+//! any bench in a plain `cargo test`), so a debug artifact cannot land
+//! even if CI's bench legs are skipped.
+
+use std::path::{Path, PathBuf};
+
+/// Every committed `BENCH_*.json`, via the crate-relative bench dir.
+fn bench_jsons() -> Vec<PathBuf> {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("bench_results");
+    let mut jsons: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("{}: {e}", dir.display()))
+        .map(|entry| entry.expect("readable dir entry").path())
+        .filter(|p| {
+            let name = p.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            name.starts_with("BENCH_") && name.ends_with(".json")
+        })
+        .collect();
+    jsons.sort();
+    jsons
+}
+
+fn read(path: &Path) -> String {
+    std::fs::read_to_string(path).unwrap_or_else(|e| panic!("{}: {e}", path.display()))
+}
+
+/// The tree must actually contain bench artifacts — an empty directory
+/// would make the release gate below pass vacuously.
+#[test]
+fn the_four_bench_artifacts_are_committed() {
+    let names: Vec<String> = bench_jsons()
+        .iter()
+        .map(|p| p.file_name().expect("file name").to_string_lossy().into_owned())
+        .collect();
+    for required in
+        ["BENCH_ingest.json", "BENCH_kernels.json", "BENCH_serving.json", "BENCH_snapshot.json"]
+    {
+        assert!(names.iter().any(|n| n == required), "missing {required} (found {names:?})");
+    }
+}
+
+/// Every committed bench artifact must be a release-mode measurement.
+/// A `"mode": "debug"` artifact misstates the perf trajectory and fails
+/// tier-1, not just a CI leg.
+#[test]
+fn committed_bench_artifacts_are_release_mode() {
+    for path in bench_jsons() {
+        let body = read(&path);
+        assert!(
+            body.contains("\"mode\": \"release\""),
+            "{}: committed bench artifacts must be measured in release mode \
+             (found a non-release `mode`; regenerate with `cargo bench`/loadgen in release)",
+            path.display()
+        );
+        assert!(
+            !body.contains("\"mode\": \"debug\""),
+            "{}: a debug-mode artifact may not be committed",
+            path.display()
+        );
+    }
+}
+
+/// The serving artifact must record the run's connection shape, so the
+/// perf trajectory distinguishes single-connection from pooled numbers.
+#[test]
+fn serving_artifact_records_connection_shape() {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("bench_results/BENCH_serving.json");
+    let body = read(&path);
+    for field in
+        ["\"connections\":", "\"pipeline_depth\":", "\"p999_ms\":", "\"identity_checked\": true"]
+    {
+        assert!(body.contains(field), "{}: missing {field}", path.display());
+    }
+}

@@ -352,8 +352,10 @@ fn admission_size_accounting_is_measured() {
     ];
     let server = SketchServer::new(ServeConfig::default());
     for (id, frame) in frames.iter().enumerate() {
-        let (kind, size_bits, _) = server.load_frame(id as u64, 1, frame).expect("servable");
+        let out = server.load_frame(id as u64, 1, frame).expect("servable");
+        let (kind, size_bits) = (out.kind, out.size_bits);
         assert_eq!(size_bits, frame.len() as u64 * 8, "kind {kind}: size must be measured");
+        assert_eq!((out.generation, out.previous_kind), (1, None), "first admit of each id");
         let sketch = ServedSketch::admit(frame, 1).expect("admit");
         assert_eq!(sketch.kind(), kind);
         // Empty batches are answerable on every kind that supports the mode.
