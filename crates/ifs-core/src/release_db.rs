@@ -36,6 +36,18 @@ impl ReleaseDb {
     pub fn database(&self) -> &Database {
         &self.db
     }
+
+    /// The complete framed snapshot in the **legacy v1 body layout**
+    /// (ε + uncompressed database fragment). The v1 decoder is kept
+    /// forever, so this is still a valid wire encoding — it exists so
+    /// tests, the golden corpus, and the store's migration pass can
+    /// manufacture v1 bytes from a current build.
+    pub fn snapshot_bytes_v1(&self) -> Vec<u8> {
+        let mut body = Writer::new();
+        body.f64_bits(self.epsilon);
+        codec::write_database(&mut body, &self.db);
+        codec::encode_frame(KIND_RELEASE_DB, 1, &body.into_bytes())
+    }
 }
 
 /// Sketch-level merge: RELEASE-DB over shard A followed by shard B *is*
@@ -150,24 +162,30 @@ impl Sketch for ReleaseDb {
     }
 }
 
-/// Body: `epsilon` (f64 bits), then the database fragment. Decoded
-/// sketches start serial (`threads = 1`).
+/// Body: `epsilon` (f64 bits), then the database fragment — uncompressed
+/// (v1) or run-length row groups (v2, the written layout). The v1 decoder
+/// is kept forever: bytes already on disk stay decodable. Decoded sketches
+/// start serial (`threads = 1`).
 impl Snapshot for ReleaseDb {
     const KIND: u16 = KIND_RELEASE_DB;
+    const VERSION: u16 = 2;
 
     fn encode_body(&self, w: &mut Writer) {
         w.f64_bits(self.epsilon);
-        codec::write_database(w, &self.db);
+        codec::write_database_compressed(w, &self.db);
     }
 
-    fn decode_body(r: &mut Reader, _version: u16) -> Result<Self, DecodeError> {
+    fn decode_body(r: &mut Reader, version: u16) -> Result<Self, DecodeError> {
         let epsilon = r.f64_bits()?;
         if !(epsilon > 0.0 && epsilon < 1.0) {
             return Err(DecodeError::Corrupt(format!(
                 "threshold must satisfy 0 < ε < 1, got {epsilon}"
             )));
         }
-        let db = codec::read_database(r)?;
+        let db = match version {
+            1 => codec::read_database(r)?,
+            _ => codec::read_database_compressed(r)?,
+        };
         Ok(Self { db, epsilon, threads: 1 })
     }
 }
@@ -324,9 +342,29 @@ mod tests {
         let s = ReleaseDb::build(&db, 0.1);
         let bytes = s.snapshot_bytes();
         assert_eq!(s.size_bits(), bytes.len() as u64 * 8, "size_bits must equal encoded length");
-        // Frame (magic 4 + kind 2 + version 2 + len varint 2 + checksum 8)
-        // + body (ε 8 + rows/dims varints 1 + 1 + 10 rows x 2 words x 8).
-        assert_eq!(bytes.len(), 18 + 10 + 160);
+        // Frame (magic 4 + kind 2 + version 2 + len varint 1 + checksum 8)
+        // + v2 body (ε 8 + rows/dims varints 1 + 1 + one run-length group
+        // for the 10 identical all-zero rows: repeat 1 + mode 1 + items 1).
+        assert_eq!(bytes.len(), 17 + 13);
         assert_eq!(ReleaseDb::from_snapshot(&bytes).expect("roundtrip"), s);
+    }
+
+    #[test]
+    fn legacy_v1_bytes_stay_decodable() {
+        let db = Database::from_rows(70, &[vec![0, 69], vec![3], vec![], vec![3], vec![3]]);
+        let s = ReleaseDb::build(&db, 0.1);
+        let v1 = s.snapshot_bytes_v1();
+        // The v1 layout is the uncompressed fragment at frame version 1:
+        // frame 17 + ε 8 + rows/dims varints 1 + 1 + 5 rows x 2 words x 8.
+        assert_eq!(v1.len(), 17 + 10 + 80);
+        assert_eq!(u16::from_le_bytes([v1[6], v1[7]]), 1, "legacy writer stamps version 1");
+        let decoded = ReleaseDb::from_snapshot(&v1).expect("v1 decoder is kept forever");
+        assert_eq!(decoded, s);
+        // Same sketch, both layouts, identical answers — and the current
+        // writer stamps version 2.
+        let v2 = s.snapshot_bytes();
+        assert_eq!(u16::from_le_bytes([v2[6], v2[7]]), 2);
+        let q = Itemset::singleton(3);
+        assert_eq!(ReleaseDb::from_snapshot(&v2).expect("v2").estimate(&q), decoded.estimate(&q));
     }
 }

@@ -398,6 +398,52 @@ pub fn decode_frame(
     Ok((body, r.consumed()))
 }
 
+/// What [`peek_frame`] learned about a frame without decoding its body:
+/// the registry tags and the byte geometry a storage layer needs to file
+/// the frame away or skip over it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameInfo {
+    /// Sketch-type tag (see `ifs_core::snapshot` for the registry).
+    pub kind: u16,
+    /// Body-layout version recorded in the frame.
+    pub version: u16,
+    /// Declared body length in bytes.
+    pub body_len: usize,
+    /// Total frame length: header + length varint + body + checksum.
+    pub frame_len: usize,
+}
+
+/// Validates one frame at the start of `bytes` *without* interpreting its
+/// body: magic, length arithmetic, and the checksum are judged, but the
+/// kind and version are reported rather than matched — the entry point for
+/// kind-agnostic storage layers (the sketch log) that must file frames of
+/// every registry kind, including versions only future decoders know.
+/// Bytes past `frame_len` are the caller's business, as in
+/// [`decode_frame`]. Version 0 is still refused (it is reserved in every
+/// kind's numbering).
+pub fn peek_frame(bytes: &[u8]) -> Result<FrameInfo, DecodeError> {
+    let mut r = Reader::new(bytes);
+    let magic = r.u32()?;
+    if magic != SNAPSHOT_MAGIC {
+        return Err(DecodeError::BadMagic(magic));
+    }
+    let kind = u16::from_le_bytes(r.bytes(2)?.try_into().expect("2"));
+    let version = u16::from_le_bytes(r.bytes(2)?.try_into().expect("2"));
+    if version == 0 {
+        return Err(DecodeError::UnsupportedVersion { kind, got: 0, supported: u16::MAX });
+    }
+    let body_len = r.varint_usize()?;
+    let body_start = r.consumed();
+    r.bytes(body_len)?;
+    let covered = body_start + body_len;
+    let expected = r.u64()?;
+    let actual = fnv1a64(&bytes[..covered]);
+    if expected != actual {
+        return Err(DecodeError::ChecksumMismatch { expected, actual });
+    }
+    Ok(FrameInfo { kind, version, body_len, frame_len: r.consumed() })
+}
+
 /// Encodes a database (rows, dims, packed row words) as a snapshot body
 /// fragment — the shared payload of the row-based sketches.
 pub fn write_database(w: &mut Writer, db: &Database) {
@@ -429,6 +475,117 @@ pub fn read_database(r: &mut Reader) -> Result<Database, DecodeError> {
                 )));
             }
         }
+    }
+    Ok(Database::from_matrix(BitMatrix::from_raw(rows, dims, words)))
+}
+
+/// Row-group payload is a delta-coded itemset (the sparse mode).
+const ROW_GROUP_ITEMS: u8 = 0;
+/// Row-group payload is the raw packed row words (the dense fallback).
+const ROW_GROUP_RAW: u8 = 1;
+
+/// Cap on the *decoded* size of a compressed database fragment (1 GiB of
+/// packed words — mirroring the serving transport's `MAX_WIRE_FRAME`).
+/// Run-length groups legitimately amplify, so unlike [`read_database`] the
+/// decoded size is not bounded by the bytes backing it; without a cap a
+/// 20-byte frame could demand a terabyte allocation.
+const MAX_COMPRESSED_DECODE_BYTES: usize = 1 << 30;
+
+/// Encodes a database as the *compressed* snapshot body fragment (v2
+/// `ReleaseDb` bodies): `rows`, `dims`, then row groups until every row is
+/// covered. A group is `repeat` (varint, ≥ 1 — consecutive identical rows
+/// collapse run-length style), a mode byte, and one row payload: either
+/// the row's delta-coded itemset ([`write_itemset`], ~1 byte per set bit —
+/// the sparse win) or its raw packed words (the dense fallback), whichever
+/// is shorter. Sparse databases shrink well below `n·d` bits; dense rows
+/// never pay more than one mode byte plus a varint over the raw encoding.
+/// The encoding is deterministic (a function of the database alone), so
+/// equal databases produce equal bytes — the compactor's identity
+/// arguments rely on this.
+pub fn write_database_compressed(w: &mut Writer, db: &Database) {
+    let m = db.matrix();
+    w.varint(m.rows() as u64);
+    w.varint(m.cols() as u64);
+    let raw_len = m.words_per_row() * 8;
+    let mut r = 0;
+    while r < m.rows() {
+        let mut end = r + 1;
+        while end < m.rows() && m.row_words(end) == m.row_words(r) {
+            end += 1;
+        }
+        let mut items = Writer::new();
+        write_itemset(&mut items, &db.row_itemset(r));
+        w.varint((end - r) as u64);
+        if items.len() < raw_len {
+            w.u8(ROW_GROUP_ITEMS);
+            w.bytes(items.as_slice());
+        } else {
+            w.u8(ROW_GROUP_RAW);
+            w.words(m.row_words(r));
+        }
+        r = end;
+    }
+}
+
+/// Decodes a fragment written by [`write_database_compressed`], validating
+/// group arithmetic (no zero-length or overrunning groups), item ranges and
+/// ordering, raw-row padding bits, and the decoded-size cap before any
+/// large allocation — adversarial headers refuse typed, never panic and
+/// never demand an unbacked terabyte.
+pub fn read_database_compressed(r: &mut Reader) -> Result<Database, DecodeError> {
+    let rows = r.varint_usize()?;
+    let dims = r.varint_usize()?;
+    let words_per_row = bits::words_for(dims).max(1);
+    let total_words = rows.checked_mul(words_per_row).ok_or_else(|| {
+        DecodeError::Corrupt(format!("database shape {rows}x{dims} overflows a word count"))
+    })?;
+    if total_words.saturating_mul(8) > MAX_COMPRESSED_DECODE_BYTES {
+        return Err(DecodeError::Corrupt(format!(
+            "compressed database decodes to {total_words} words, over the \
+             {MAX_COMPRESSED_DECODE_BYTES}-byte cap"
+        )));
+    }
+    let mut words = vec![0u64; total_words];
+    let mut covered = 0usize;
+    while covered < rows {
+        let repeat = r.varint_usize()?;
+        if repeat == 0 {
+            return Err(DecodeError::Corrupt("row group repeats zero rows".into()));
+        }
+        if repeat > rows - covered {
+            return Err(DecodeError::Corrupt(format!(
+                "row groups cover {} rows, database declares {rows}",
+                covered + repeat
+            )));
+        }
+        let base = covered * words_per_row;
+        match r.u8()? {
+            ROW_GROUP_ITEMS => {
+                let itemset = read_itemset(r, dims)?;
+                for &item in itemset.items() {
+                    words[base + item as usize / 64] |= 1u64 << (item % 64);
+                }
+            }
+            ROW_GROUP_RAW => {
+                let row = r.words(words_per_row)?;
+                if !dims.is_multiple_of(64) && dims > 0 {
+                    let last = row[words_per_row - 1];
+                    if last >> (dims % 64) != 0 {
+                        return Err(DecodeError::Corrupt(format!(
+                            "row {covered} has nonzero padding bits beyond column {dims}"
+                        )));
+                    }
+                }
+                words[base..base + words_per_row].copy_from_slice(&row);
+            }
+            other => {
+                return Err(DecodeError::Corrupt(format!("unknown row-group mode {other}")));
+            }
+        }
+        for k in 1..repeat {
+            words.copy_within(base..base + words_per_row, base + k * words_per_row);
+        }
+        covered += repeat;
     }
     Ok(Database::from_matrix(BitMatrix::from_raw(rows, dims, words)))
 }
@@ -661,6 +818,116 @@ mod tests {
         bytes[last] = 0x80; // bit 63 of row 1's only word: past column 10
         let mut r = Reader::new(&bytes);
         assert!(matches!(read_database(&mut r), Err(DecodeError::Corrupt(_))));
+    }
+
+    #[test]
+    fn peek_frame_reports_tags_without_judging_kind() {
+        let frame = encode_frame(42, 9, b"opaque body");
+        let info = peek_frame(&frame).expect("well-formed frame peeks");
+        assert_eq!(info, FrameInfo { kind: 42, version: 9, body_len: 11, frame_len: frame.len() });
+        // Trailing bytes are the caller's business, as in decode_frame.
+        let mut long = frame.clone();
+        long.extend_from_slice(b"tail");
+        assert_eq!(peek_frame(&long).expect("prefix intact").frame_len, frame.len());
+        // Truncation at every prefix refuses typed.
+        for cut in 0..frame.len() {
+            assert!(peek_frame(&frame[..cut]).is_err(), "prefix {cut} peeked");
+        }
+        // Magic, checksum, and the reserved version 0 still refuse.
+        let mut bad = frame.clone();
+        bad[0] ^= 0xFF;
+        assert!(matches!(peek_frame(&bad), Err(DecodeError::BadMagic(_))));
+        let mut flipped = frame.clone();
+        flipped[10] ^= 0x01;
+        assert!(matches!(peek_frame(&flipped), Err(DecodeError::ChecksumMismatch { .. })));
+        let mut zero = frame;
+        zero[6] = 0;
+        zero[7] = 0;
+        assert!(matches!(peek_frame(&zero), Err(DecodeError::UnsupportedVersion { got: 0, .. })));
+    }
+
+    #[test]
+    fn compressed_database_fragment_roundtrips() {
+        let mut rng = ifs_util::Rng64::seeded(0xC0DE);
+        for (n, d, density) in [
+            (0usize, 5usize, 0.5),
+            (3, 0, 0.0),
+            (7, 64, 0.05),
+            (13, 65, 0.9),
+            (50, 130, 0.02),
+            (40, 33, 0.5),
+        ] {
+            let db = crate::generators::uniform(n, d, density, &mut rng);
+            let mut w = Writer::new();
+            write_database_compressed(&mut w, &db);
+            let bytes = w.into_bytes();
+            let mut r = Reader::new(&bytes);
+            assert_eq!(
+                read_database_compressed(&mut r).expect("roundtrip"),
+                db,
+                "n={n} d={d} density={density}"
+            );
+            assert_eq!(r.remaining(), 0);
+        }
+        // Run-length: identical rows collapse to one group, so an all-equal
+        // database costs O(1) groups instead of O(n).
+        let db = Database::from_rows(100, &vec![vec![2u32, 7]; 500]);
+        let mut w = Writer::new();
+        write_database_compressed(&mut w, &db);
+        let bytes = w.into_bytes();
+        assert!(bytes.len() < 16, "500 identical rows must collapse, got {} bytes", bytes.len());
+        let mut r = Reader::new(&bytes);
+        assert_eq!(read_database_compressed(&mut r).expect("roundtrip"), db);
+    }
+
+    #[test]
+    fn compressed_database_refuses_adversarial_groups() {
+        fn decode(bytes: &[u8]) -> Result<Database, DecodeError> {
+            read_database_compressed(&mut Reader::new(bytes))
+        }
+        // A zero-repeat group.
+        let mut w = Writer::new();
+        w.varint(2); // rows
+        w.varint(8); // dims
+        w.varint(0); // repeat = 0
+        assert!(matches!(decode(&w.into_bytes()), Err(DecodeError::Corrupt(_))));
+        // Groups overrunning the declared row count.
+        let mut w = Writer::new();
+        w.varint(1);
+        w.varint(8);
+        w.varint(5); // repeat = 5 > rows = 1
+        assert!(matches!(decode(&w.into_bytes()), Err(DecodeError::Corrupt(_))));
+        // An unknown mode byte.
+        let mut w = Writer::new();
+        w.varint(1);
+        w.varint(8);
+        w.varint(1);
+        w.u8(7);
+        assert!(matches!(decode(&w.into_bytes()), Err(DecodeError::Corrupt(_))));
+        // Nonzero padding bits in a raw row.
+        let mut w = Writer::new();
+        w.varint(1);
+        w.varint(10);
+        w.varint(1);
+        w.u8(1);
+        w.words(&[1u64 << 63]);
+        assert!(matches!(decode(&w.into_bytes()), Err(DecodeError::Corrupt(_))));
+        // A decompression bomb: tiny frame, terabyte-scale declared shape.
+        let mut w = Writer::new();
+        w.varint(1 << 40); // rows
+        w.varint(1 << 12); // dims
+        w.varint(1 << 40);
+        w.u8(0);
+        w.varint(0);
+        assert!(matches!(decode(&w.into_bytes()), Err(DecodeError::Corrupt(_))));
+        // Truncation mid-group is typed, never a panic.
+        let db = crate::generators::uniform(9, 40, 0.3, &mut ifs_util::Rng64::seeded(4));
+        let mut w = Writer::new();
+        write_database_compressed(&mut w, &db);
+        let bytes = w.into_bytes();
+        for cut in 0..bytes.len() {
+            assert!(decode(&bytes[..cut]).is_err(), "prefix {cut} decoded");
+        }
     }
 
     #[test]

@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! ifs-loadgen --write-snapshots FILE [--seed N]
+//! ifs-loadgen --write-log FILE [--seed N]
 //! ifs-loadgen --connect ADDR [--assume-loaded] [--connections N]
 //!             [--pipeline M] [--batches N] [--batch-size N] [--threads N]
 //!             [--seed N] [--json PATH]
@@ -12,7 +13,13 @@
 //!
 //! The first form writes the demo sketch fleet (one frame per servable
 //! kind, built from a seeded database) as concatenated snapshot frames —
-//! the file `ifs-serve --snapshots` preloads. The second form drives a
+//! the file `ifs-serve --snapshots` preloads. `--write-log` writes the
+//! *same fleet* as a durable sketch log (`ifs-serve --log`), but through
+//! the store's lifecycle ops: the RELEASE-DB arrives as a two-shard merge
+//! run, one id is shadowed by a later `Put`, and an unservable ingestion
+//! partial rides along for the server to skip — so an end-to-end run over
+//! the log proves the materialize fold reproduces the one-shot fleet
+//! bit-identically, not just that bytes round-trip. The second form drives a
 //! running server over `--connections` concurrent connections, each
 //! keeping up to `--pipeline` requests in flight, and **verifies every
 //! answer bit-identically** against the same sketches rebuilt locally:
@@ -47,6 +54,7 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 const USAGE: &str = "usage: ifs-loadgen --write-snapshots FILE [--seed N]\n       \
+                     ifs-loadgen --write-log FILE [--seed N]\n       \
                      ifs-loadgen --connect ADDR [--assume-loaded] [--connections N] \
                      [--pipeline M] [--batches N] [--batch-size N] [--threads N] [--seed N] \
                      [--json PATH]\n       \
@@ -63,6 +71,7 @@ const FLEET_ANSWERS_K: usize = 2;
 
 struct Args {
     write_snapshots: Option<String>,
+    write_log: Option<String>,
     connect: Option<String>,
     bench_matrix: bool,
     assume_loaded: bool,
@@ -78,6 +87,7 @@ struct Args {
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         write_snapshots: None,
+        write_log: None,
         connect: None,
         bench_matrix: false,
         assume_loaded: false,
@@ -94,6 +104,7 @@ fn parse_args() -> Result<Args, String> {
         let mut value = |name: &str| iter.next().ok_or(format!("{name} needs a value\n{USAGE}"));
         match flag.as_str() {
             "--write-snapshots" => args.write_snapshots = Some(value("--write-snapshots")?),
+            "--write-log" => args.write_log = Some(value("--write-log")?),
             "--connect" => args.connect = Some(value("--connect")?),
             "--bench-matrix" => args.bench_matrix = true,
             "--assume-loaded" => args.assume_loaded = true,
@@ -123,11 +134,12 @@ fn parse_args() -> Result<Args, String> {
         }
     }
     let modes = args.write_snapshots.is_some() as u8
+        + args.write_log.is_some() as u8
         + args.connect.is_some() as u8
         + args.bench_matrix as u8;
     if modes != 1 {
         return Err(format!(
-            "exactly one of --write-snapshots, --connect, or --bench-matrix\n{USAGE}"
+            "exactly one of --write-snapshots, --write-log, --connect, or --bench-matrix\n{USAGE}"
         ));
     }
     if args.connections == 0 || args.pipeline == 0 {
@@ -159,6 +171,51 @@ fn write_snapshots(path: &str, seed: u64) -> Result<(), String> {
     }
     std::fs::write(path, &bytes).map_err(|e| format!("{path}: {e}"))?;
     println!("ifs-loadgen wrote {} frames ({} bytes) to {path}", frames.len(), bytes.len());
+    Ok(())
+}
+
+/// Writes the fleet as a sketch log whose *materialization* is the fleet:
+/// the RELEASE-DB arrives as a two-shard merge run, id 1 is first written
+/// as a decoy and then shadowed by the real frame, and an unservable
+/// SUBSAMPLE partial rides along under a high id for the server to skip.
+/// An `ifs-serve --log` boot over this file must serve answers
+/// bit-identical to `--snapshots` over [`write_snapshots`]'s output.
+fn write_log(path: &str, seed: u64) -> Result<(), String> {
+    use ifs_core::{StreamingBuild, SubsampleBuilder, SubsampleParams};
+    use ifs_store::{LogOp, SketchLog};
+    let frames = fleet_frames(seed);
+    let mut log = SketchLog::create(path).map_err(|e| e.to_string())?;
+    let fail = |e: ifs_store::StoreError| e.to_string();
+    // The fleet database again, split into two row shards: §9 merge
+    // identity makes the folded sketch bit-identical to fleet frame 0.
+    let mut rng = Rng64::seeded(seed);
+    let db = generators::uniform(FLEET_ROWS, FLEET_DIMS, FLEET_DENSITY, &mut rng);
+    let rows: Vec<Vec<u32>> = (0..db.rows()).map(|r| db.row_itemset(r).items().to_vec()).collect();
+    let (front, back) = rows.split_at(FLEET_ROWS / 2);
+    for shard in [front, back] {
+        let part =
+            ReleaseDb::build(&ifs_database::Database::from_rows(FLEET_DIMS, shard), FLEET_EPSILON);
+        log.append(LogOp::Merge, 0, &part.snapshot_bytes()).map_err(fail)?;
+    }
+    // Id 1 exercises Put shadowing: a decoy first, the real frame second.
+    let decoy = ReleaseDb::build(&ifs_database::Database::from_rows(FLEET_DIMS, &[vec![0]]), 0.5);
+    log.append(LogOp::Put, 1, &decoy.snapshot_bytes()).map_err(fail)?;
+    for (id, frame) in frames.iter().enumerate().skip(1) {
+        log.append(LogOp::Put, id as u64, frame).map_err(fail)?;
+    }
+    // An ingestion partial the server must skip, not refuse.
+    let mut partial = SubsampleBuilder::begin(
+        FLEET_DIMS,
+        seed,
+        &SubsampleParams { sample_rows: 4, epsilon: 0.1 },
+    );
+    partial.observe_row(&Itemset::new(vec![0, 2]));
+    log.append(LogOp::Put, 999, &partial.snapshot_bytes()).map_err(fail)?;
+    println!(
+        "ifs-loadgen wrote {} log records ({} bytes) to {path}",
+        log.record_count(),
+        log.len_bytes()
+    );
     Ok(())
 }
 
@@ -576,10 +633,11 @@ fn bench_matrix(args: &Args) -> Result<(), String> {
 
 fn run() -> Result<(), String> {
     let args = parse_args()?;
-    match &args.write_snapshots {
-        Some(path) => write_snapshots(path, args.seed),
-        None if args.bench_matrix => bench_matrix(&args),
-        None => run_load(&args),
+    match (&args.write_snapshots, &args.write_log) {
+        (Some(path), _) => write_snapshots(path, args.seed),
+        (_, Some(path)) => write_log(path, args.seed),
+        _ if args.bench_matrix => bench_matrix(&args),
+        _ => run_load(&args),
     }
 }
 

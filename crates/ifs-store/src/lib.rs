@@ -1,0 +1,143 @@
+//! Durable sketch store (DESIGN.md §14): an append-only log over the §10
+//! snapshot frames, with crash recovery, compaction, and cross-version
+//! migration.
+//!
+//! The serving tier (DESIGN.md §§11–13) answers queries from snapshot
+//! frames but gives them no lifecycle: a fleet reboots from loose
+//! concatenated frames, mergeable ingestion partials pile up, and nothing
+//! proves old bytes stay decodable after a format bump. This crate is that
+//! lifecycle, in the LSM shape the mergeability contract (§9) makes
+//! bit-identically verifiable:
+//!
+//! * [`SketchLog`] — an append-only file of `(op, id, frame)` records,
+//!   each independently checksummed. [`SketchLog::open`] runs a *recovery
+//!   scan*: a torn or corrupt tail is truncated (and reported) instead of
+//!   refusing the whole file, so a crashed writer loses at most its last
+//!   in-flight record — never the prefix.
+//! * [`LogOp`] — `Put` replaces an id (a reload); `Merge` folds a
+//!   mergeable partial into it (§9 [`MergeableSketch`](ifs_core::MergeableSketch)). Because every
+//!   accepted merge is bit-identical to the one-pass build, the fold over
+//!   the log — [`SketchLog::materialize`] — has one right answer, shared
+//!   by serving and compaction alike.
+//! * [`SketchLog::compact_into`] — rewrites the log as one `Put` per live
+//!   id, dropping shadowed records and collapsing merge runs. Compacted
+//!   and uncompacted logs materialize to identical bytes by construction
+//!   (asserted in `tests/sketch_store.rs` via query identity).
+//! * [`SketchLog::migrate_into`] — rewrites records whose frames carry a
+//!   superseded body version (e.g. `ReleaseDb` v1 → v2) at the current
+//!   version. Decoders for old versions are kept forever; migration is an
+//!   optional space reclaim, not a compatibility requirement.
+//!
+//! Every failure is a typed [`StoreError`] naming the byte offset — the
+//! log inherits the snapshot layer's adversarial-input posture: no input
+//! file can panic the store.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod compact;
+mod log;
+mod materialize;
+
+pub use compact::{CompactStats, MigrateStats};
+pub use log::{
+    LogOp, LogRecord, RecoveryReport, SketchLog, LOG_HEADER_LEN, LOG_MAGIC, LOG_VERSION,
+};
+pub use materialize::{materialize, StoredSketch};
+
+use ifs_core::MergeError;
+use ifs_database::codec::DecodeError;
+use std::path::PathBuf;
+
+/// Why a store operation refused.
+///
+/// Mirrors the snapshot layer's taxonomy one level up: I/O failures carry
+/// their path, and every malformed-input case names the byte offset of the
+/// offending record, so a diagnostic can point at the exact bytes.
+#[derive(Debug)]
+pub enum StoreError {
+    /// An underlying filesystem operation failed.
+    Io {
+        /// The file the operation touched.
+        path: PathBuf,
+        /// The operating system's error.
+        source: std::io::Error,
+    },
+    /// The file exists but does not start with the log magic — it is some
+    /// other file, and the store refuses to touch (let alone truncate) it.
+    NotALog {
+        /// The file that was offered as a log.
+        path: PathBuf,
+        /// The first four bytes found where [`LOG_MAGIC`] was expected.
+        found_magic: u32,
+    },
+    /// The log header carries a version this build does not read.
+    UnsupportedLogVersion {
+        /// Version found in the header.
+        got: u16,
+        /// Newest version this build understands.
+        supported: u16,
+    },
+    /// A record failed validation under the *strict* scan (recovery would
+    /// have truncated here instead). The offset is the record's first byte.
+    BadRecord {
+        /// Byte offset of the record in the file.
+        offset: u64,
+        /// What was wrong with it.
+        detail: String,
+    },
+    /// A record's snapshot frame failed frame-layer validation.
+    Frame {
+        /// Byte offset of the enclosing record.
+        offset: u64,
+        /// Sketch id the record addressed.
+        id: u64,
+        /// The frame-layer refusal.
+        source: DecodeError,
+    },
+    /// A `Merge` record could not be folded into the id's current state.
+    Merge {
+        /// Byte offset of the merge record.
+        offset: u64,
+        /// Sketch id the record addressed.
+        id: u64,
+        /// The §9 merge refusal.
+        source: MergeError,
+    },
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io { path, source } => write!(f, "{}: {source}", path.display()),
+            StoreError::NotALog { path, found_magic } => write!(
+                f,
+                "{}: not a sketch log (magic {found_magic:#010x}, expected {LOG_MAGIC:#010x})",
+                path.display()
+            ),
+            StoreError::UnsupportedLogVersion { got, supported } => {
+                write!(f, "unsupported log version {got} (this build reads 1..={supported})")
+            }
+            StoreError::BadRecord { offset, detail } => {
+                write!(f, "bad record at byte offset {offset}: {detail}")
+            }
+            StoreError::Frame { offset, id, source } => {
+                write!(f, "record for id {id} at byte offset {offset}: {source}")
+            }
+            StoreError::Merge { offset, id, source } => {
+                write!(f, "merge record for id {id} at byte offset {offset}: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io { source, .. } => Some(source),
+            StoreError::Frame { source, .. } => Some(source),
+            StoreError::Merge { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}

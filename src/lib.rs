@@ -59,6 +59,7 @@ pub use ifs_lowerbounds as lowerbounds;
 pub use ifs_mining as mining;
 pub use ifs_serve as serve;
 pub use ifs_solver as solver;
+pub use ifs_store as store;
 pub use ifs_streaming as streaming;
 pub use ifs_util as util;
 
@@ -71,5 +72,6 @@ pub mod prelude {
         SketchParams, Snapshot, StreamingBuild, Subsample, SubsampleBuilder, SubsampleParams,
     };
     pub use ifs_database::{generators, ColumnStore, Database, Itemset, ShardedColumnStore};
+    pub use ifs_store::{LogOp, SketchLog, StoreError};
     pub use ifs_util::Rng64;
 }

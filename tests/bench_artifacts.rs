@@ -37,14 +37,18 @@ fn read(path: &Path) -> String {
 /// The tree must actually contain bench artifacts — an empty directory
 /// would make the release gate below pass vacuously.
 #[test]
-fn the_four_bench_artifacts_are_committed() {
+fn the_five_bench_artifacts_are_committed() {
     let names: Vec<String> = bench_jsons()
         .iter()
         .map(|p| p.file_name().expect("file name").to_string_lossy().into_owned())
         .collect();
-    for required in
-        ["BENCH_ingest.json", "BENCH_kernels.json", "BENCH_serving.json", "BENCH_snapshot.json"]
-    {
+    for required in [
+        "BENCH_ingest.json",
+        "BENCH_kernels.json",
+        "BENCH_serving.json",
+        "BENCH_snapshot.json",
+        "BENCH_store.json",
+    ] {
         assert!(names.iter().any(|n| n == required), "missing {required} (found {names:?})");
     }
 }
@@ -67,6 +71,19 @@ fn committed_bench_artifacts_are_release_mode() {
             "{}: a debug-mode artifact may not be committed",
             path.display()
         );
+    }
+}
+
+/// The store artifact must record the v1/v2 space claim its bench gate
+/// asserts, so the committed number and the enforced floor travel
+/// together.
+#[test]
+fn store_artifact_records_the_space_claim() {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("bench_results/BENCH_store.json");
+    let body = read(&path);
+    for field in ["\"v1_bytes\":", "\"v2_bytes\":", "\"v1_over_v2\":", "\"min_required_ratio\": 2"]
+    {
+        assert!(body.contains(field), "{}: missing {field}", path.display());
     }
 }
 
